@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the simulated runtime's collective operations —
+//! the communication primitives whose costs appear in Tab. I of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tucker_distmem::collectives::{all_gather, all_reduce, reduce};
+use tucker_distmem::{spmd, SubCommunicator};
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(p, w) in &[(4usize, 4096usize), (8, 4096)] {
+        group.bench_with_input(
+            BenchmarkId::new("p_w", format!("{p}x{w}")),
+            &(p, w),
+            |bencher, &(p, w)| {
+                bencher.iter(|| {
+                    spmd(p, move |comm| {
+                        let g = SubCommunicator::world_group(&comm);
+                        let data = vec![1.0f64; w];
+                        all_reduce(&g, &data).len()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &p in &[4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |bencher, &p| {
+            bencher.iter(|| {
+                spmd(p, move |comm| {
+                    let g = SubCommunicator::world_group(&comm);
+                    let data = vec![1.0f64; 4096];
+                    reduce(&g, 0, &data).map(|v| v.len()).unwrap_or(0)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_gather");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &p in &[4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |bencher, &p| {
+            bencher.iter(|| {
+                spmd(p, move |comm| {
+                    let g = SubCommunicator::world_group(&comm);
+                    let data = vec![comm.rank() as f64; 1024];
+                    all_gather(&g, &data).len()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(collectives, bench_all_reduce, bench_reduce, bench_all_gather);
+criterion_main!(collectives);

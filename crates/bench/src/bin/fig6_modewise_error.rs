@@ -1,0 +1,65 @@
+//! Fig. 6 — mode-wise contributions to the error bound for the three
+//! combustion datasets (HCCI, TJLR, SP).
+//!
+//! For each dataset and mode, prints the normalized mode-wise RMS error
+//! `sqrt(Σ_{i>R} λ⁽ⁿ⁾ᵢ)/‖X‖` as a function of the retained rank `R`, plus the
+//! rank at which each curve crosses the ε/√N threshold for ε = 10⁻³ (the dotted
+//! line in the paper's figure).
+//!
+//! Run: `cargo run --release -p tucker-bench --bin fig6_modewise_error`
+
+use tucker_bench::{eng, print_header, print_row};
+use tucker_core::error::{mode_wise_error_curves, ranks_for_tolerance};
+use tucker_scidata::DatasetPreset;
+
+fn main() {
+    let eps = 1e-3;
+    for preset in DatasetPreset::all() {
+        let ds = preset.generate(1, 2024);
+        let dims = ds.data.dims().to_vec();
+        let n = dims.len() as f64;
+        println!(
+            "\nFig. 6 ({}) — mode-wise normalized RMS error vs rank; surrogate {:?}",
+            preset.name(),
+            dims
+        );
+        let curves = mode_wise_error_curves(&ds.data);
+
+        // Sample the curves at a handful of ranks (relative positions).
+        let widths = [12usize, 10, 12, 12, 12, 12, 14];
+        print_header(
+            &["mode", "dim", "R=1", "R=25%", "R=50%", "R=75%", "rank@eps/sqrtN"],
+            &widths,
+        );
+        let threshold = eps / n.sqrt();
+        for (curve, label) in curves.iter().zip(ds.mode_labels.iter()) {
+            let d = curve.eigenvalues.len();
+            let at = |frac: f64| -> String {
+                let r = ((d as f64 * frac).round() as usize).clamp(1, d);
+                eng(curve.tail_error[r], 2)
+            };
+            print_row(
+                &[
+                    label.clone(),
+                    format!("{d}"),
+                    eng(curve.tail_error[1], 2),
+                    at(0.25),
+                    at(0.5),
+                    at(0.75),
+                    format!("{}", curve.rank_for_threshold(threshold)),
+                ],
+                &widths,
+            );
+        }
+
+        let implied = ranks_for_tolerance(&curves, eps);
+        println!(
+            "  Ranks implied by eps = {eps:.0e} (the Fig. 6 threshold intersections): {implied:?}"
+        );
+    }
+    println!(
+        "\nShape check: every curve decays monotonically; the species mode crosses the\n\
+         threshold at a small rank (low-rank chemistry); TJLR's spatial curves stay\n\
+         high (least compressible), SP's drop fastest (most compressible)."
+    );
+}

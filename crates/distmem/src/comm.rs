@@ -1,0 +1,257 @@
+//! Point-to-point communicator between simulated ranks.
+//!
+//! A [`Communicator`] is handed to each rank by [`crate::runtime::spmd`]. It
+//! owns one unbounded channel endpoint per peer in each direction, so
+//! `send`/`recv` pairs between a fixed (source, destination) pair match in
+//! program order exactly as MPI point-to-point messages on a single tag do.
+//! Sends never block (buffered channels), which mirrors eager-protocol MPI for
+//! the message sizes the Tucker kernels exchange and keeps the simulated
+//! schedule deadlock-free as long as every posted receive has a matching send.
+//!
+//! All payloads are `Vec<f64>` — every message in the Tucker algorithms is a
+//! block of tensor or matrix data — and every transfer is recorded in the
+//! rank's [`CommStats`].
+
+use crate::grid::ProcGrid;
+use crate::stats::CommStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// Per-rank handle for point-to-point communication and synchronization.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    grid: ProcGrid,
+    to_peer: Vec<Sender<Vec<f64>>>,
+    from_peer: Vec<Receiver<Vec<f64>>>,
+    barrier: Arc<Barrier>,
+    stats: Arc<CommStats>,
+}
+
+impl Communicator {
+    /// Creates the full set of communicators for a `grid.size()`-rank world.
+    ///
+    /// Returned in rank order. Normally called only by [`crate::runtime::spmd`].
+    pub fn create_world(grid: ProcGrid) -> Vec<Communicator> {
+        let p = grid.size();
+        // channels[src][dst]
+        let mut senders: Vec<Vec<Option<Sender<Vec<f64>>>>> = (0..p)
+            .map(|_| (0..p).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Vec<f64>>>>> = (0..p)
+            .map(|_| (0..p).map(|_| None).collect())
+            .collect();
+        for src in 0..p {
+            for dst in 0..p {
+                let (tx, rx) = unbounded();
+                senders[src][dst] = Some(tx);
+                receivers[dst][src] = Some(rx);
+            }
+        }
+        let barrier = Arc::new(Barrier::new(p));
+        let mut world = Vec::with_capacity(p);
+        for rank in 0..p {
+            let to_peer = senders[rank]
+                .iter_mut()
+                .map(|s| s.take().expect("sender already taken"))
+                .collect();
+            let from_peer = receivers[rank]
+                .iter_mut()
+                .map(|r| r.take().expect("receiver already taken"))
+                .collect();
+            world.push(Communicator {
+                rank,
+                size: p,
+                grid: grid.clone(),
+                to_peer,
+                from_peer,
+                barrier: Arc::clone(&barrier),
+                stats: CommStats::new_shared(),
+            });
+        }
+        world
+    }
+
+    /// This rank's id in `[0, size)`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The processor grid this world was created with.
+    #[inline]
+    pub fn grid(&self) -> &ProcGrid {
+        &self.grid
+    }
+
+    /// This rank's grid coordinates.
+    pub fn coords(&self) -> Vec<usize> {
+        self.grid.coords(self.rank)
+    }
+
+    /// Shared handle to this rank's communication counters.
+    pub fn stats(&self) -> Arc<CommStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Sends `data` to rank `dst`. Non-blocking (buffered).
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or the destination has shut down.
+    pub fn send(&self, dst: usize, data: &[f64]) {
+        assert!(dst < self.size, "send: destination {dst} out of range");
+        self.stats.record_send(data.len());
+        self.to_peer[dst]
+            .send(data.to_vec())
+            .expect("send: destination rank has terminated");
+    }
+
+    /// Sends an owned buffer to rank `dst` without copying.
+    pub fn send_vec(&self, dst: usize, data: Vec<f64>) {
+        assert!(dst < self.size, "send_vec: destination {dst} out of range");
+        self.stats.record_send(data.len());
+        self.to_peer[dst]
+            .send(data)
+            .expect("send_vec: destination rank has terminated");
+    }
+
+    /// Receives the next message from rank `src` (blocking).
+    pub fn recv(&self, src: usize) -> Vec<f64> {
+        assert!(src < self.size, "recv: source {src} out of range");
+        let data = self.from_peer[src]
+            .recv()
+            .expect("recv: source rank has terminated");
+        self.stats.record_recv(data.len());
+        data
+    }
+
+    /// Combined send to `dst` and receive from `src` (the shifted exchange used
+    /// by the parallel Gram's ring, Alg. 4 lines 9–10). Because sends are
+    /// buffered this cannot deadlock.
+    pub fn sendrecv(&self, dst: usize, data: &[f64], src: usize) -> Vec<f64> {
+        self.send(dst, data);
+        self.recv(src)
+    }
+
+    /// Synchronizes all ranks in the world.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Records participation in a collective (called by the collective layer).
+    pub(crate) fn note_collective(&self) {
+        self.stats.record_collective();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_world<R, F>(shape: &[usize], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        let grid = ProcGrid::new(shape);
+        let world = Communicator::create_world(grid);
+        let mut out: Vec<Option<R>> = world.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for comm in world {
+                let f = &f;
+                handles.push(scope.spawn(move || (comm.rank(), f(comm))));
+            }
+            for h in handles {
+                let (rank, r) = h.join().expect("rank thread panicked");
+                out[rank] = Some(r);
+            }
+        });
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    #[test]
+    fn ring_pass_around() {
+        let results = run_world(&[4], |comm| {
+            let p = comm.size();
+            let next = (comm.rank() + 1) % p;
+            let prev = (comm.rank() + p - 1) % p;
+            comm.send(next, &[comm.rank() as f64]);
+            let got = comm.recv(prev);
+            got[0] as usize
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn messages_match_in_order_per_pair() {
+        let results = run_world(&[2], |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, &[1.0]);
+                comm.send(1, &[2.0, 2.0]);
+                comm.send(1, &[3.0]);
+                vec![]
+            } else {
+                let a = comm.recv(0);
+                let b = comm.recv(0);
+                let c = comm.recv(0);
+                vec![a[0], b[0], c[0]]
+            }
+        });
+        assert_eq!(results[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sendrecv_shift_does_not_deadlock() {
+        let results = run_world(&[5], |comm| {
+            let p = comm.size();
+            let dst = (comm.rank() + 1) % p;
+            let src = (comm.rank() + p - 1) % p;
+            let got = comm.sendrecv(dst, &[comm.rank() as f64; 10], src);
+            got[0] as usize
+        });
+        assert_eq!(results, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stats_count_words() {
+        let snaps = run_world(&[2], |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, &[0.0; 64]);
+            } else {
+                let _ = comm.recv(0);
+            }
+            comm.stats().snapshot()
+        });
+        assert_eq!(snaps[0].messages_sent, 1);
+        assert_eq!(snaps[0].words_sent, 64);
+        assert_eq!(snaps[1].messages_received, 1);
+        assert_eq!(snaps[1].words_received, 64);
+    }
+
+    #[test]
+    fn coords_match_grid() {
+        let results = run_world(&[2, 3], |comm| (comm.rank(), comm.coords()));
+        for (rank, coords) in results {
+            assert_eq!(ProcGrid::new(&[2, 3]).coords(rank), coords);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_world(&[4], |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all four increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+}

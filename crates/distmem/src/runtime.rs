@@ -1,0 +1,145 @@
+//! SPMD launcher: run the same closure on every simulated rank.
+//!
+//! [`spmd_with_grid`] spawns one OS thread per rank of a [`ProcGrid`], gives
+//! each thread its own [`Communicator`], and collects the per-rank return
+//! values in rank order. This is the moral equivalent of `mpiexec -n P` for the
+//! in-process runtime, and is how every distributed algorithm in `tucker-core`
+//! and every scaling experiment in `tucker-bench` is driven.
+
+use crate::comm::Communicator;
+use crate::grid::ProcGrid;
+use crate::stats::StatsSnapshot;
+
+/// The result of an SPMD run: per-rank return values and communication statistics.
+#[derive(Debug, Clone)]
+pub struct SpmdHandle<R> {
+    /// Per-rank results, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank communication counters, indexed by rank.
+    pub stats: Vec<StatsSnapshot>,
+    /// Wall-clock time of the whole SPMD region in seconds.
+    pub elapsed: f64,
+}
+
+impl<R> SpmdHandle<R> {
+    /// Aggregate communication volume across all ranks.
+    pub fn total_stats(&self) -> StatsSnapshot {
+        StatsSnapshot::total(&self.stats)
+    }
+
+    /// Per-rank maximum (critical-path) communication counters.
+    pub fn max_stats(&self) -> StatsSnapshot {
+        StatsSnapshot::max(&self.stats)
+    }
+}
+
+/// Runs `f` on every rank of an N-way grid and returns per-rank results in rank
+/// order, along with communication statistics and elapsed wall-clock time.
+pub fn spmd_with_grid_handle<R, F>(grid: ProcGrid, f: F) -> SpmdHandle<R>
+where
+    R: Send,
+    F: Fn(Communicator) -> R + Send + Sync,
+{
+    let p = grid.size();
+    let world = Communicator::create_world(grid);
+    let stats_handles: Vec<_> = world.iter().map(|c| c.stats()).collect();
+    let start = std::time::Instant::now();
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for comm in world {
+            let f = &f;
+            let rank = comm.rank();
+            handles.push((rank, scope.spawn(move || f(comm))));
+        }
+        for (rank, h) in handles {
+            match h.join() {
+                Ok(r) => results[rank] = Some(r),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    SpmdHandle {
+        results: results.into_iter().map(|o| o.expect("missing rank result")).collect(),
+        stats: stats_handles.iter().map(|s| s.snapshot()).collect(),
+        elapsed,
+    }
+}
+
+/// Like [`spmd_with_grid_handle`] but returns only the per-rank results.
+pub fn spmd_with_grid<R, F>(grid: ProcGrid, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Communicator) -> R + Send + Sync,
+{
+    spmd_with_grid_handle(grid, f).results
+}
+
+/// Runs `f` on `p` ranks arranged in a 1-way grid.
+pub fn spmd<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Communicator) -> R + Send + Sync,
+{
+    spmd_with_grid(ProcGrid::new(&[p]), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::all_reduce;
+    use crate::subcomm::SubCommunicator;
+
+    #[test]
+    fn results_are_in_rank_order() {
+        let results = spmd(6, |comm| comm.rank() * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn grid_is_visible_to_ranks() {
+        let grid = ProcGrid::new(&[2, 2, 2]);
+        let results = spmd_with_grid(grid, |comm| comm.grid().shape().to_vec());
+        for r in results {
+            assert_eq!(r, vec![2, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn handle_collects_stats() {
+        let handle = spmd_with_grid_handle(ProcGrid::new(&[4]), |comm| {
+            let g = SubCommunicator::world_group(&comm);
+            let _ = all_reduce(&g, &[1.0; 16]);
+        });
+        let total = handle.total_stats();
+        assert!(total.messages_sent > 0);
+        assert_eq!(total.messages_sent, total.messages_received);
+        assert_eq!(total.words_sent, total.words_received);
+        assert!(handle.elapsed >= 0.0);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let results = spmd(1, |comm| {
+            let g = SubCommunicator::world_group(&comm);
+            all_reduce(&g, &[2.0, 3.0])
+        });
+        assert_eq!(results[0], vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn large_world_smoke() {
+        // 24 ranks (the paper's per-node core count) exchanging in a ring.
+        let results = spmd(24, |comm| {
+            let p = comm.size();
+            let next = (comm.rank() + 1) % p;
+            let prev = (comm.rank() + p - 1) % p;
+            let got = comm.sendrecv(next, &[comm.rank() as f64], prev);
+            got[0] as usize
+        });
+        for (rank, got) in results.into_iter().enumerate() {
+            assert_eq!(got, (rank + 24 - 1) % 24);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-rank communication counters.
+//!
+//! Every point-to-point send and every collective records the number of
+//! messages and `f64` words a rank sends and receives. The paper's α-β-γ model
+//! (Tab. I) predicts exactly these quantities, so the integration tests compare
+//! the predicted words/messages against these counters, and the scaling
+//! harnesses use them to attribute time between computation and communication.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Mutable, thread-safe communication counters for one rank.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    messages_sent: AtomicU64,
+    words_sent: AtomicU64,
+    messages_received: AtomicU64,
+    words_received: AtomicU64,
+    collective_calls: AtomicU64,
+}
+
+/// An immutable snapshot of a rank's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Number of point-to-point messages sent (collective-internal sends included).
+    pub messages_sent: u64,
+    /// Number of `f64` words sent.
+    pub words_sent: u64,
+    /// Number of point-to-point messages received.
+    pub messages_received: u64,
+    /// Number of `f64` words received.
+    pub words_received: u64,
+    /// Number of collective operations this rank participated in.
+    pub collective_calls: u64,
+}
+
+impl CommStats {
+    /// Creates zeroed counters wrapped for sharing with the rank's communicator.
+    pub fn new_shared() -> Arc<CommStats> {
+        Arc::new(CommStats::default())
+    }
+
+    /// Records a sent message of `words` `f64` words.
+    pub fn record_send(&self, words: usize) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.words_sent.fetch_add(words as u64, Ordering::Relaxed);
+    }
+
+    /// Records a received message of `words` `f64` words.
+    pub fn record_recv(&self, words: usize) {
+        self.messages_received.fetch_add(1, Ordering::Relaxed);
+        self.words_received.fetch_add(words as u64, Ordering::Relaxed);
+    }
+
+    /// Records participation in one collective operation.
+    pub fn record_collective(&self) {
+        self.collective_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.messages_sent.store(0, Ordering::Relaxed);
+        self.words_sent.store(0, Ordering::Relaxed);
+        self.messages_received.store(0, Ordering::Relaxed);
+        self.words_received.store(0, Ordering::Relaxed);
+        self.collective_calls.store(0, Ordering::Relaxed);
+    }
+
+    /// Takes an immutable snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            words_sent: self.words_sent.load(Ordering::Relaxed),
+            messages_received: self.messages_received.load(Ordering::Relaxed),
+            words_received: self.words_received.load(Ordering::Relaxed),
+            collective_calls: self.collective_calls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Aggregates per-rank snapshots into a machine-wide total.
+    pub fn total(snaps: &[StatsSnapshot]) -> StatsSnapshot {
+        let mut acc = StatsSnapshot::default();
+        for s in snaps {
+            acc.messages_sent += s.messages_sent;
+            acc.words_sent += s.words_sent;
+            acc.messages_received += s.messages_received;
+            acc.words_received += s.words_received;
+            acc.collective_calls += s.collective_calls;
+        }
+        acc
+    }
+
+    /// Maximum over ranks — the critical-path view used by the cost model.
+    pub fn max(snaps: &[StatsSnapshot]) -> StatsSnapshot {
+        let mut acc = StatsSnapshot::default();
+        for s in snaps {
+            acc.messages_sent = acc.messages_sent.max(s.messages_sent);
+            acc.words_sent = acc.words_sent.max(s.words_sent);
+            acc.messages_received = acc.messages_received.max(s.messages_received);
+            acc.words_received = acc.words_received.max(s.words_received);
+            acc.collective_calls = acc.collective_calls.max(s.collective_calls);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = CommStats::default();
+        s.record_send(100);
+        s.record_send(50);
+        s.record_recv(100);
+        s.record_collective();
+        let snap = s.snapshot();
+        assert_eq!(snap.messages_sent, 2);
+        assert_eq!(snap.words_sent, 150);
+        assert_eq!(snap.messages_received, 1);
+        assert_eq!(snap.words_received, 100);
+        assert_eq!(snap.collective_calls, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = CommStats::default();
+        s.record_send(10);
+        s.record_recv(10);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn total_and_max_aggregation() {
+        let snaps = vec![
+            StatsSnapshot {
+                messages_sent: 1,
+                words_sent: 10,
+                messages_received: 2,
+                words_received: 20,
+                collective_calls: 1,
+            },
+            StatsSnapshot {
+                messages_sent: 3,
+                words_sent: 5,
+                messages_received: 1,
+                words_received: 50,
+                collective_calls: 2,
+            },
+        ];
+        let total = StatsSnapshot::total(&snaps);
+        assert_eq!(total.messages_sent, 4);
+        assert_eq!(total.words_sent, 15);
+        assert_eq!(total.words_received, 70);
+        let max = StatsSnapshot::max(&snaps);
+        assert_eq!(max.messages_sent, 3);
+        assert_eq!(max.words_sent, 10);
+        assert_eq!(max.words_received, 50);
+        assert_eq!(max.collective_calls, 2);
+    }
+
+    #[test]
+    fn concurrent_updates_are_counted() {
+        let s = CommStats::new_shared();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_send(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot().messages_sent, 8000);
+        assert_eq!(s.snapshot().words_sent, 8000);
+    }
+}

@@ -1,0 +1,179 @@
+//! Sub-communicators over subsets of ranks.
+//!
+//! The parallel Tucker kernels never communicate over the whole machine at
+//! once: the TTM reduces within a mode-n processor *column* (P_n ranks), the
+//! Gram all-reduces across a mode-n processor *row* (P̂_n ranks), and the
+//! eigenvector step all-gathers within a column (Alg. 3–5). A
+//! [`SubCommunicator`] restricts a rank's world communicator to an ordered
+//! member list and exposes the collectives of [`crate::collectives`] over it.
+
+use crate::comm::Communicator;
+
+/// A view of a [`Communicator`] restricted to an ordered subset of ranks.
+pub struct SubCommunicator<'a> {
+    comm: &'a Communicator,
+    members: Vec<usize>,
+    my_pos: usize,
+}
+
+impl<'a> SubCommunicator<'a> {
+    /// Creates a sub-communicator over `members` (world ranks, in group order).
+    ///
+    /// # Panics
+    /// Panics if the calling rank is not a member, if members repeat, or if any
+    /// member is out of range.
+    pub fn new(comm: &'a Communicator, members: Vec<usize>) -> Self {
+        assert!(!members.is_empty(), "SubCommunicator: empty member list");
+        let mut seen = vec![false; comm.size()];
+        for &m in &members {
+            assert!(m < comm.size(), "SubCommunicator: member {m} out of range");
+            assert!(!seen[m], "SubCommunicator: duplicate member {m}");
+            seen[m] = true;
+        }
+        let my_pos = members
+            .iter()
+            .position(|&m| m == comm.rank())
+            .expect("SubCommunicator: calling rank is not a member of the group");
+        SubCommunicator {
+            comm,
+            members,
+            my_pos,
+        }
+    }
+
+    /// The world communicator backing this group.
+    #[inline]
+    pub fn world(&self) -> &Communicator {
+        self.comm
+    }
+
+    /// Number of ranks in the group.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's position within the group (its "group rank").
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.my_pos
+    }
+
+    /// The world rank at group position `pos`.
+    #[inline]
+    pub fn member(&self, pos: usize) -> usize {
+        self.members[pos]
+    }
+
+    /// The ordered member list.
+    #[inline]
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Sends to the group member at position `pos`.
+    pub fn send(&self, pos: usize, data: &[f64]) {
+        self.comm.send(self.members[pos], data);
+    }
+
+    /// Sends an owned buffer to the group member at position `pos`.
+    pub fn send_vec(&self, pos: usize, data: Vec<f64>) {
+        self.comm.send_vec(self.members[pos], data);
+    }
+
+    /// Receives from the group member at position `pos`.
+    pub fn recv(&self, pos: usize) -> Vec<f64> {
+        self.comm.recv(self.members[pos])
+    }
+
+    /// Combined shifted exchange within the group.
+    pub fn sendrecv(&self, dst_pos: usize, data: &[f64], src_pos: usize) -> Vec<f64> {
+        self.comm
+            .sendrecv(self.members[dst_pos], data, self.members[src_pos])
+    }
+
+    /// Builds the mode-`n` processor-column group of the calling rank
+    /// (the `P_n` ranks differing only in grid coordinate `n`).
+    pub fn mode_column(comm: &'a Communicator, n: usize) -> Self {
+        let members = comm.grid().mode_column(comm.rank(), n);
+        SubCommunicator::new(comm, members)
+    }
+
+    /// Builds the mode-`n` processor-row group of the calling rank
+    /// (the `P̂_n` ranks sharing grid coordinate `n`).
+    pub fn mode_row(comm: &'a Communicator, n: usize) -> Self {
+        let members = comm.grid().mode_row(comm.rank(), n);
+        SubCommunicator::new(comm, members)
+    }
+
+    /// The whole world as a single group.
+    pub fn world_group(comm: &'a Communicator) -> Self {
+        SubCommunicator::new(comm, (0..comm.size()).collect())
+    }
+
+    pub(crate) fn note_collective(&self) {
+        self.comm.note_collective();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcGrid;
+    use crate::runtime::spmd_with_grid;
+
+    #[test]
+    fn column_group_positions_match_coordinates() {
+        let grid = ProcGrid::new(&[3, 2, 2]);
+        let results = spmd_with_grid(grid.clone(), |comm| {
+            let col = SubCommunicator::mode_column(&comm, 0);
+            (comm.rank(), col.pos(), col.size())
+        });
+        for (rank, pos, size) in results {
+            assert_eq!(size, 3);
+            assert_eq!(pos, grid.coords(rank)[0]);
+        }
+    }
+
+    #[test]
+    fn row_group_has_cosize_members() {
+        let grid = ProcGrid::new(&[2, 3]);
+        let results = spmd_with_grid(grid.clone(), |comm| {
+            let row = SubCommunicator::mode_row(&comm, 1);
+            row.size()
+        });
+        assert!(results.iter().all(|&s| s == 2));
+    }
+
+    #[test]
+    fn send_recv_by_group_position() {
+        let grid = ProcGrid::new(&[4]);
+        let results = spmd_with_grid(grid, |comm| {
+            let g = SubCommunicator::world_group(&comm);
+            let next = (g.pos() + 1) % g.size();
+            let prev = (g.pos() + g.size() - 1) % g.size();
+            let got = g.sendrecv(next, &[g.pos() as f64], prev);
+            got[0] as usize
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_member_rank_panics() {
+        let grid = ProcGrid::new(&[2]);
+        let world = Communicator::create_world(grid);
+        // Rank 0 tries to build a group it does not belong to.
+        let comm0 = &world[0];
+        let _ = SubCommunicator::new(comm0, vec![1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_member_panics() {
+        let grid = ProcGrid::new(&[2]);
+        let world = Communicator::create_world(grid);
+        let comm0 = &world[0];
+        let _ = SubCommunicator::new(comm0, vec![0, 0]);
+    }
+}

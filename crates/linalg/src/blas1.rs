@@ -1,0 +1,193 @@
+//! Level-1 BLAS-style vector kernels.
+//!
+//! These are the scalar building blocks used by the higher-level kernels
+//! (GEMM micro-kernels, Householder reflectors, Jacobi rotations). They are
+//! written to auto-vectorize under `opt-level = 3`.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Accumulate in four lanes to give the optimizer an easy reassociation.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let b = i * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..x.len() {
+        tail += x[i] * y[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// `y ← a·x + y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+pub fn scal(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Euclidean norm, computed with scaling to avoid overflow/underflow.
+pub fn nrm2(x: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &xi in x {
+        if xi != 0.0 {
+            let absxi = xi.abs();
+            if scale < absxi {
+                let r = scale / absxi;
+                ssq = 1.0 + ssq * r * r;
+                scale = absxi;
+            } else {
+                let r = absxi / scale;
+                ssq += r * r;
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Sum of squares of a slice (no overflow guard; used on normalized data).
+pub fn sumsq(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// Index of the element with the largest absolute value, or `None` if empty.
+pub fn iamax(x: &[f64]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut bestval = x[0].abs();
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v.abs() > bestval {
+            best = i;
+            bestval = v.abs();
+        }
+    }
+    Some(best)
+}
+
+/// Copies `x` into `y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "copy: length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// Swaps the contents of two slices.
+pub fn swap(x: &mut [f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "swap: length mismatch");
+    x.swap_with_slice(y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn dot_basic() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(dot(&x, &y), 35.0);
+    }
+
+    #[test]
+    fn dot_empty() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn scal_basic() {
+        let mut x = [1.0, -2.0, 3.0];
+        scal(-0.5, &mut x);
+        assert_eq!(x, [-0.5, 1.0, -1.5]);
+    }
+
+    #[test]
+    fn nrm2_matches_naive() {
+        let x = [3.0, 4.0];
+        assert!(approx_eq(nrm2(&x), 5.0, 1e-14));
+    }
+
+    #[test]
+    fn nrm2_large_values_no_overflow() {
+        let x = [1e200, 1e200];
+        let n = nrm2(&x);
+        assert!(n.is_finite());
+        assert!(approx_eq(n, 2.0f64.sqrt() * 1e200, 1e-12));
+    }
+
+    #[test]
+    fn nrm2_tiny_values_no_underflow() {
+        let x = [1e-200, 1e-200];
+        let n = nrm2(&x);
+        assert!(n > 0.0);
+        assert!(approx_eq(n, 2.0f64.sqrt() * 1e-200, 1e-12));
+    }
+
+    #[test]
+    fn nrm2_zero_vector() {
+        assert_eq!(nrm2(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(nrm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn iamax_basic() {
+        assert_eq!(iamax(&[1.0, -5.0, 3.0]), Some(1));
+        assert_eq!(iamax(&[]), None);
+    }
+
+    #[test]
+    fn sumsq_basic() {
+        assert!(approx_eq(sumsq(&[1.0, 2.0, 2.0]), 9.0, 1e-15));
+    }
+
+    #[test]
+    fn copy_and_swap() {
+        let x = [1.0, 2.0];
+        let mut y = [0.0, 0.0];
+        copy(&x, &mut y);
+        assert_eq!(y, [1.0, 2.0]);
+        let mut a = [1.0, 2.0];
+        let mut b = [3.0, 4.0];
+        swap(&mut a, &mut b);
+        assert_eq!(a, [3.0, 4.0]);
+        assert_eq!(b, [1.0, 2.0]);
+    }
+}

@@ -1,0 +1,479 @@
+//! Symmetric eigendecomposition (the `dsyevx` replacement).
+//!
+//! The Tucker algorithms need the leading `Rn` eigenvectors of the `In × In`
+//! Gram matrix `S = Y(n) Y(n)ᵀ` (paper Alg. 1 line 6, Alg. 2 line 7, Alg. 5
+//! line 5). The paper assumes `In ≤ 2000`, so a dense solver is appropriate.
+//!
+//! The default path is the classical two-stage approach:
+//! 1. Householder reduction to symmetric tridiagonal form, accumulating the
+//!    orthogonal transform.
+//! 2. Implicit-shift QL iteration on the tridiagonal matrix.
+//!
+//! A cyclic Jacobi solver is also provided as an independent reference; the
+//! test suite cross-validates the two.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition.
+///
+/// Satisfies `A ≈ V · diag(values) · Vᵀ`, where column `j` of `vectors` is the
+/// eigenvector for `values[j]`.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues.
+    pub values: Vec<f64>,
+    /// Eigenvectors, stored column-wise (column `j` pairs with `values[j]`).
+    pub vectors: Matrix,
+}
+
+impl SymEig {
+    /// Returns the eigenvectors associated with the `r` largest eigenvalues as
+    /// an `n × r` matrix (assuming `values` are sorted descending).
+    pub fn leading_vectors(&self, r: usize) -> Matrix {
+        let n = self.vectors.rows();
+        let r = r.min(self.vectors.cols());
+        Matrix::from_fn(n, r, |i, j| self.vectors.get(i, j))
+    }
+}
+
+/// Householder tridiagonalization of a symmetric matrix.
+///
+/// Returns `(diag, offdiag, q)` where `q` is the accumulated orthogonal matrix
+/// such that `A = Q · T · Qᵀ` with `T` tridiagonal.
+fn tridiagonalize(a: &Matrix) -> (Vec<f64>, Vec<f64>, Matrix) {
+    let n = a.rows();
+    assert_eq!(a.rows(), a.cols(), "tridiagonalize: matrix must be square");
+    // Work on a copy in a flat Vec<Vec<f64>>-free layout.
+    let mut z = a.clone();
+    let mut d = vec![0.0f64; n];
+    let mut e = vec![0.0f64; n];
+
+    // Householder reduction (adapted from the classical tred2 routine).
+    for i in (1..n).rev() {
+        let l = i;
+        let mut h = 0.0;
+        let mut scale = 0.0;
+        if l > 1 {
+            for k in 0..l {
+                scale += z.get(i, k).abs();
+            }
+            if scale == 0.0 {
+                e[i] = z.get(i, l - 1);
+            } else {
+                for k in 0..l {
+                    let v = z.get(i, k) / scale;
+                    z.set(i, k, v);
+                    h += v * v;
+                }
+                let mut f = z.get(i, l - 1);
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z.set(i, l - 1, f - g);
+                f = 0.0;
+                for j in 0..l {
+                    z.set(j, i, z.get(i, j) / h);
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z.get(j, k) * z.get(i, k);
+                    }
+                    for k in j + 1..l {
+                        g += z.get(k, j) * z.get(i, k);
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z.get(i, j);
+                }
+                let hh = f / (h + h);
+                for j in 0..l {
+                    let fj = z.get(i, j);
+                    let gj = e[j] - hh * fj;
+                    e[j] = gj;
+                    for k in 0..=j {
+                        let v = z.get(j, k) - (fj * e[k] + gj * z.get(i, k));
+                        z.set(j, k, v);
+                    }
+                }
+            }
+        } else {
+            e[i] = z.get(i, l - 1);
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    // Accumulate transformation.
+    for i in 0..n {
+        let l = i;
+        if d[i] != 0.0 {
+            for j in 0..l {
+                let mut g = 0.0;
+                for k in 0..l {
+                    g += z.get(i, k) * z.get(k, j);
+                }
+                for k in 0..l {
+                    let v = z.get(k, j) - g * z.get(k, i);
+                    z.set(k, j, v);
+                }
+            }
+        }
+        d[i] = z.get(i, i);
+        z.set(i, i, 1.0);
+        for j in 0..l {
+            z.set(j, i, 0.0);
+            z.set(i, j, 0.0);
+        }
+    }
+    (d, e, z)
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix, accumulating
+/// the rotations into `z` (adapted from the classical tql2 routine).
+fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), String> {
+    let n = d.len();
+    if n == 0 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find small subdiagonal element.
+            let mut m = l;
+            while m < n - 1 {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 50 {
+                return Err(format!("tql2: no convergence for eigenvalue {l}"));
+            }
+            // Form shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r } else { -r };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    f = z.get(k, i + 1);
+                    z.set(k, i + 1, s * z.get(k, i) + c * f);
+                    z.set(k, i, c * z.get(k, i) - s * f);
+                }
+            }
+            if r == 0.0 && m > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Full symmetric eigendecomposition with eigenvalues in **ascending** order.
+///
+/// # Panics
+/// Panics if `a` is not square. Returns an error string if the QL iteration
+/// fails to converge (extremely unusual for symmetric input).
+pub fn sym_eig(a: &Matrix) -> SymEig {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "sym_eig: matrix must be square");
+    if n == 0 {
+        return SymEig {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        };
+    }
+    if n == 1 {
+        return SymEig {
+            values: vec![a.get(0, 0)],
+            vectors: Matrix::identity(1),
+        };
+    }
+    let (mut d, mut e, mut z) = tridiagonalize(a);
+    if tql2(&mut d, &mut e, &mut z).is_err() {
+        // Fall back to the (slower but very robust) Jacobi solver.
+        return jacobi_eig(a);
+    }
+    // Sort ascending (tql2 output is not guaranteed sorted).
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).unwrap());
+    let values: Vec<f64> = idx.iter().map(|&i| d[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| z.get(i, idx[j]));
+    SymEig { values, vectors }
+}
+
+/// Symmetric eigendecomposition with eigenvalues sorted **descending** — the
+/// order required by the Tucker rank-selection rule (Alg. 1 line 5), which
+/// discards trailing eigenvalues.
+pub fn sym_eig_desc(a: &Matrix) -> SymEig {
+    let mut asc = sym_eig(a);
+    let n = asc.values.len();
+    asc.values.reverse();
+    let vectors = Matrix::from_fn(n, n, |i, j| asc.vectors.get(i, n - 1 - j));
+    SymEig {
+        values: asc.values,
+        vectors,
+    }
+}
+
+/// Cyclic Jacobi eigenvalue algorithm (ascending order). Slower than the
+/// tridiagonal path but essentially bulletproof; used as a fallback and as an
+/// independent reference in tests.
+pub fn jacobi_eig(a: &Matrix) -> SymEig {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "jacobi_eig: matrix must be square");
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 100;
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        if off.sqrt() <= 1e-14 * (1.0 + m.frob_norm()) {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply rotation to rows/cols p and q of M.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    let mut d: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).unwrap());
+    d = idx.iter().map(|&i| m.get(i, i)).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v.get(i, idx[j]));
+    SymEig { values: d, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, Transpose};
+    use crate::syrk::syrk;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_symmetric(rng: &mut StdRng, n: usize) -> Matrix {
+        let a = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let at = a.transpose();
+        let mut s = a.add(&at);
+        s.scale(0.5);
+        s
+    }
+
+    fn reconstruction_error(a: &Matrix, eig: &SymEig) -> f64 {
+        let n = a.rows();
+        let d = Matrix::from_fn(n, n, |i, j| if i == j { eig.values[i] } else { 0.0 });
+        let vd = gemm(Transpose::No, Transpose::No, 1.0, &eig.vectors, &d);
+        let rec = gemm(Transpose::No, Transpose::Yes, 1.0, &vd, &eig.vectors);
+        a.sub(&rec).frob_norm() / (1.0 + a.frob_norm())
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_fn(4, 4, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
+        let e = sym_eig(&a);
+        for (i, v) in e.values.iter().enumerate() {
+            assert!((v - (i + 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = sym_eig(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstructs_random_symmetric() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [2usize, 5, 13, 40, 80] {
+            let a = random_symmetric(&mut rng, n);
+            let e = sym_eig(&a);
+            assert!(
+                reconstruction_error(&a, &e) < 1e-10,
+                "reconstruction failed for n={n}"
+            );
+            assert!(e.vectors.has_orthonormal_columns(1e-9));
+        }
+    }
+
+    #[test]
+    fn ascending_order() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = random_symmetric(&mut rng, 25);
+        let e = sym_eig(&a);
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn descending_variant_matches() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = random_symmetric(&mut rng, 15);
+        let asc = sym_eig(&a);
+        let desc = sym_eig_desc(&a);
+        for w in desc.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!((asc.values[14] - desc.values[0]).abs() < 1e-12);
+        assert!(reconstruction_error(&a, &desc) < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_agrees_with_ql() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let a = random_symmetric(&mut rng, 20);
+        let e1 = sym_eig(&a);
+        let e2 = jacobi_eig(&a);
+        for (x, y) in e1.values.iter().zip(e2.values.iter()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        assert!(reconstruction_error(&a, &e2) < 1e-9);
+    }
+
+    #[test]
+    fn gram_matrix_eigenvalues_are_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let a = Matrix::from_fn(30, 12, |_, _| rng.gen_range(-1.0..1.0));
+        let s = syrk(&a);
+        let e = sym_eig_desc(&s);
+        for &v in &e.values {
+            assert!(v > -1e-9, "Gram eigenvalue should be nonnegative: {v}");
+        }
+        // Rank of A·Aᵀ is at most 12: eigenvalues beyond index 11 are ~0.
+        for &v in &e.values[12..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn leading_vectors_shape_and_orthonormality() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let a = random_symmetric(&mut rng, 18);
+        let e = sym_eig_desc(&a);
+        let u = e.leading_vectors(5);
+        assert_eq!(u.shape(), (18, 5));
+        assert!(u.has_orthonormal_columns(1e-9));
+    }
+
+    #[test]
+    fn leading_vectors_clamps_to_n() {
+        let a = Matrix::identity(3);
+        let e = sym_eig_desc(&a);
+        let u = e.leading_vectors(10);
+        assert_eq!(u.shape(), (3, 3));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e = sym_eig(&Matrix::zeros(0, 0));
+        assert!(e.values.is_empty());
+        let a = Matrix::from_vec(1, 1, vec![7.5]);
+        let e = sym_eig(&a);
+        assert_eq!(e.values, vec![7.5]);
+        assert_eq!(e.vectors.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        // 3x3 with a double eigenvalue: diag(2,2,5) rotated.
+        let mut rng = StdRng::seed_from_u64(27);
+        let q = {
+            // random orthogonal via QR of random matrix
+            let m = Matrix::from_fn(3, 3, |_, _| rng.gen_range(-1.0..1.0));
+            crate::qr::householder_qr(&m).q
+        };
+        let d = Matrix::from_fn(3, 3, |i, j| {
+            if i == j {
+                if i < 2 {
+                    2.0
+                } else {
+                    5.0
+                }
+            } else {
+                0.0
+            }
+        });
+        let qd = gemm(Transpose::No, Transpose::No, 1.0, &q, &d);
+        let a = gemm(Transpose::No, Transpose::Yes, 1.0, &qd, &q);
+        let e = sym_eig(&a);
+        assert!((e.values[0] - 2.0).abs() < 1e-9);
+        assert!((e.values[1] - 2.0).abs() < 1e-9);
+        assert!((e.values[2] - 5.0).abs() < 1e-9);
+        assert!(reconstruction_error(&a, &e) < 1e-9);
+    }
+}

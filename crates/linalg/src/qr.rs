@@ -1,0 +1,163 @@
+//! Householder QR factorization.
+//!
+//! Sec. IX of the paper notes that for accuracy targets near machine precision
+//! the Gram-matrix approach loses half the digits, and proposes computing the
+//! SVD of the (tall, skinny) unfolding via a QR preprocessing step "at roughly
+//! twice the cost". This module provides that QR step; [`crate::svd`] builds
+//! the direct-SVD alternative on top of it.
+
+use crate::matrix::Matrix;
+
+/// Result of a QR factorization `A = Q · R` with `Q` having orthonormal columns.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// `m × k` matrix with orthonormal columns (`k = min(m, n)` for the thin QR).
+    pub q: Matrix,
+    /// `k × n` upper-triangular factor.
+    pub r: Matrix,
+}
+
+/// Thin Householder QR of an `m × n` matrix (`m ≥ n` or `m < n` both allowed).
+///
+/// Returns `Q` of size `m × k` and `R` of size `k × n` with `k = min(m, n)`,
+/// such that `A ≈ Q·R` and `QᵀQ = I`.
+pub fn householder_qr(a: &Matrix) -> QrFactors {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Store Householder vectors; v_j has length m - j.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Build the Householder vector for column j below the diagonal.
+        let mut v: Vec<f64> = (j..m).map(|i| r.get(i, j)).collect();
+        let alpha = crate::blas1::nrm2(&v);
+        if alpha == 0.0 {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+        v[0] += sign * alpha;
+        let vnorm = crate::blas1::nrm2(&v);
+        if vnorm == 0.0 {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        for x in v.iter_mut() {
+            *x /= vnorm;
+        }
+        // Apply the reflector to the trailing submatrix: R ← (I - 2vvᵀ) R.
+        for col in j..n {
+            let mut dot = 0.0;
+            for (idx, &vi) in v.iter().enumerate() {
+                dot += vi * r.get(j + idx, col);
+            }
+            let s = 2.0 * dot;
+            for (idx, &vi) in v.iter().enumerate() {
+                let val = r.get(j + idx, col) - s * vi;
+                r.set(j + idx, col, val);
+            }
+        }
+        vs.push(v);
+    }
+
+    // Extract the k x n upper-triangular R.
+    let r_out = Matrix::from_fn(k, n, |i, j| if j >= i { r.get(i, j) } else { 0.0 });
+
+    // Form Q (m x k) by applying the reflectors to the first k columns of I,
+    // in reverse order.
+    let mut q = Matrix::from_fn(m, k, |i, j| if i == j { 1.0 } else { 0.0 });
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for col in 0..k {
+            let mut dot = 0.0;
+            for (idx, &vi) in v.iter().enumerate() {
+                dot += vi * q.get(j + idx, col);
+            }
+            let s = 2.0 * dot;
+            for (idx, &vi) in v.iter().enumerate() {
+                let val = q.get(j + idx, col) - s * vi;
+                q.set(j + idx, col, val);
+            }
+        }
+    }
+
+    QrFactors { q, r: r_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, Transpose};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
+        Matrix::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn check_qr(a: &Matrix, tol: f64) {
+        let QrFactors { q, r } = householder_qr(a);
+        let k = a.rows().min(a.cols());
+        assert_eq!(q.shape(), (a.rows(), k));
+        assert_eq!(r.shape(), (k, a.cols()));
+        assert!(q.has_orthonormal_columns(tol), "Q not orthonormal");
+        // R upper triangular
+        for i in 0..k {
+            for j in 0..i.min(r.cols()) {
+                assert!(r.get(i, j).abs() < tol, "R not upper triangular");
+            }
+        }
+        let rec = gemm(Transpose::No, Transpose::No, 1.0, &q, &r);
+        let err = a.sub(&rec).frob_norm() / (1.0 + a.frob_norm());
+        assert!(err < tol, "QR reconstruction error {err}");
+    }
+
+    #[test]
+    fn square_matrices() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in [1usize, 2, 5, 20, 50] {
+            check_qr(&random_matrix(&mut rng, n, n), 1e-10);
+        }
+    }
+
+    #[test]
+    fn tall_matrices() {
+        let mut rng = StdRng::seed_from_u64(32);
+        check_qr(&random_matrix(&mut rng, 40, 7), 1e-10);
+        check_qr(&random_matrix(&mut rng, 100, 3), 1e-10);
+    }
+
+    #[test]
+    fn wide_matrices() {
+        let mut rng = StdRng::seed_from_u64(33);
+        check_qr(&random_matrix(&mut rng, 6, 25), 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Two identical columns.
+        let a = Matrix::from_fn(8, 3, |i, j| if j == 2 { i as f64 } else { (i * 2) as f64 });
+        let QrFactors { q, r } = householder_qr(&a);
+        let rec = gemm(Transpose::No, Transpose::No, 1.0, &q, &r);
+        assert!(a.sub(&rec).frob_norm() < 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(5, 3);
+        let QrFactors { q, r } = householder_qr(&a);
+        let rec = gemm(Transpose::No, Transpose::No, 1.0, &q, &r);
+        assert!(rec.frob_norm() < 1e-12);
+    }
+
+    #[test]
+    fn identity_qr() {
+        let a = Matrix::identity(4);
+        check_qr(&a, 1e-12);
+    }
+}

@@ -1,0 +1,244 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The paper's kernels use the Gram-matrix + eigendecomposition route to obtain
+//! left singular vectors, which is accurate whenever the target error ε is well
+//! above √(machine precision) (Sec. II-B). For ε near machine precision the
+//! paper proposes a direct SVD (Sec. IX). This module supplies that option:
+//! a thin SVD computed by one-sided Jacobi rotations, optionally preceded by a
+//! QR factorization when the matrix is very tall (the exact scheme sketched in
+//! the paper's conclusion).
+
+use crate::gemm::{gemm, Transpose};
+use crate::matrix::Matrix;
+use crate::qr::householder_qr;
+
+/// Thin SVD `A = U · diag(s) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × k`.
+    pub u: Matrix,
+    /// Singular values in descending order, length `k = min(m, n)`.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `n × k`.
+    pub v: Matrix,
+}
+
+/// Computes the thin SVD of `a` by one-sided Jacobi.
+///
+/// When `a` has at least twice as many rows as columns, a QR factorization is
+/// performed first and the Jacobi sweeps run on the small `R` factor — this is
+/// the "QR as preprocessing" strategy from the paper's Sec. IX.
+pub fn jacobi_svd(a: &Matrix) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 || n == 0 {
+        return Svd {
+            u: Matrix::zeros(m, 0),
+            s: vec![],
+            v: Matrix::zeros(n, 0),
+        };
+    }
+    if m >= 2 * n && n > 0 {
+        // Tall-skinny: A = Q R, SVD(R) = Ur S Vᵀ, so U = Q Ur.
+        let qr = householder_qr(a);
+        let inner = jacobi_svd_dense(&qr.r);
+        let u = gemm(Transpose::No, Transpose::No, 1.0, &qr.q, &inner.u);
+        return Svd {
+            u,
+            s: inner.s,
+            v: inner.v,
+        };
+    }
+    if n > m {
+        // Work on the transpose and swap U/V.
+        let at = a.transpose();
+        let svd_t = jacobi_svd(&at);
+        return Svd {
+            u: svd_t.v,
+            s: svd_t.s,
+            v: svd_t.u,
+        };
+    }
+    jacobi_svd_dense(a)
+}
+
+/// One-sided Jacobi on a general (m ≥ n not required, but intended small) matrix.
+fn jacobi_svd_dense(a: &Matrix) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    // Work matrix W whose columns are rotated toward mutual orthogonality.
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 60;
+    let tol = 1e-14;
+
+    for _sweep in 0..max_sweeps {
+        let mut converged = true;
+        for p in 0..n {
+            for q in p + 1..n {
+                // Compute the 2x2 Gram submatrix of columns p and q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let wp = w.get(i, p);
+                    let wq = w.get(i, q);
+                    app += wp * wp;
+                    aqq += wq * wq;
+                    apq += wp * wq;
+                }
+                if apq.abs() > tol * (app * aqq).sqrt().max(1e-300) {
+                    converged = false;
+                    // Jacobi rotation that annihilates apq.
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = if tau >= 0.0 {
+                        1.0 / (tau + (1.0 + tau * tau).sqrt())
+                    } else {
+                        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    for i in 0..m {
+                        let wp = w.get(i, p);
+                        let wq = w.get(i, q);
+                        w.set(i, p, c * wp - s * wq);
+                        w.set(i, q, s * wp + c * wq);
+                    }
+                    for i in 0..n {
+                        let vp = v.get(i, p);
+                        let vq = v.get(i, q);
+                        v.set(i, p, c * vp - s * vq);
+                        v.set(i, q, s * vp + c * vq);
+                    }
+                }
+            }
+        }
+        if converged {
+            break;
+        }
+    }
+
+    // Singular values are the column norms of W; U columns are normalized W columns.
+    let mut sv: Vec<(f64, usize)> = (0..n)
+        .map(|j| {
+            let col: Vec<f64> = (0..m).map(|i| w.get(i, j)).collect();
+            (crate::blas1::nrm2(&col), j)
+        })
+        .collect();
+    sv.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let kept: Vec<(f64, usize)> = sv.into_iter().take(k).collect();
+
+    let s: Vec<f64> = kept.iter().map(|&(sv, _)| sv).collect();
+    let mut u = Matrix::zeros(m, k);
+    let mut v_out = Matrix::zeros(n, k);
+    for (out_j, &(sval, j)) in kept.iter().enumerate() {
+        if sval > 1e-300 {
+            for i in 0..m {
+                u.set(i, out_j, w.get(i, j) / sval);
+            }
+        } else {
+            // Null singular value: leave a zero column (caller treats rank as reduced).
+        }
+        for i in 0..n {
+            v_out.set(i, out_j, v.get(i, j));
+        }
+    }
+    Svd { u, s, v: v_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
+        Matrix::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn check_svd(a: &Matrix, tol: f64) {
+        let Svd { u, s, v } = jacobi_svd(a);
+        let k = a.rows().min(a.cols());
+        assert_eq!(u.shape(), (a.rows(), k));
+        assert_eq!(v.shape(), (a.cols(), k));
+        assert_eq!(s.len(), k);
+        // Descending order, nonnegative.
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &sv in &s {
+            assert!(sv >= 0.0);
+        }
+        // Reconstruction: A ≈ U diag(s) Vᵀ.
+        let us = Matrix::from_fn(a.rows(), k, |i, j| u.get(i, j) * s[j]);
+        let rec = gemm(Transpose::No, Transpose::Yes, 1.0, &us, &v);
+        let err = a.sub(&rec).frob_norm() / (1.0 + a.frob_norm());
+        assert!(err < tol, "SVD reconstruction error {err}");
+    }
+
+    #[test]
+    fn square_random() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for n in [1usize, 3, 10, 30] {
+            check_svd(&random_matrix(&mut rng, n, n), 1e-9);
+        }
+    }
+
+    #[test]
+    fn tall_uses_qr_path() {
+        let mut rng = StdRng::seed_from_u64(42);
+        check_svd(&random_matrix(&mut rng, 80, 7), 1e-9);
+    }
+
+    #[test]
+    fn wide_matrix() {
+        let mut rng = StdRng::seed_from_u64(43);
+        check_svd(&random_matrix(&mut rng, 5, 40), 1e-9);
+    }
+
+    #[test]
+    fn singular_values_match_eig_of_gram() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let a = random_matrix(&mut rng, 25, 10);
+        let svd = jacobi_svd(&a);
+        let gram = crate::syrk::syrk(&a.transpose()); // AᵀA, 10x10
+        let eig = crate::eig::sym_eig_desc(&gram);
+        for (sv, ev) in svd.s.iter().zip(eig.values.iter()) {
+            assert!((sv * sv - ev).abs() < 1e-8 * (1.0 + ev.abs()));
+        }
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        let u = [1.0, 2.0, 3.0];
+        let v = [4.0, 5.0];
+        let a = Matrix::from_fn(3, 2, |i, j| u[i] * v[j]);
+        let svd = jacobi_svd(&a);
+        assert!(svd.s[0] > 1.0);
+        assert!(svd.s[1].abs() < 1e-10, "second singular value should vanish");
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(4, 3);
+        let svd = jacobi_svd(&a);
+        assert!(svd.s.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Matrix::zeros(0, 3);
+        let svd = jacobi_svd(&a);
+        assert!(svd.s.is_empty());
+    }
+
+    #[test]
+    fn orthonormal_factors() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let a = random_matrix(&mut rng, 20, 12);
+        let svd = jacobi_svd(&a);
+        assert!(svd.u.has_orthonormal_columns(1e-8));
+        assert!(svd.v.has_orthonormal_columns(1e-8));
+    }
+}

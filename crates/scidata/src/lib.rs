@@ -1,0 +1,28 @@
+//! Synthetic scientific datasets for the parallel Tucker compression study.
+//!
+//! The paper evaluates compression on three combustion DNS datasets produced by
+//! the S3D solver (HCCI, TJLR, SP — Sec. VII-A). Those datasets are not
+//! publicly available, so this crate provides *surrogates*: synthetic fields
+//! built from traveling coherent structures with low-rank species correlations
+//! and smooth temporal evolution, whose mode-wise singular-value decay can be
+//! controlled so that the relative compressibility ordering of the paper
+//! (SP ≫ HCCI ≫ TJLR) is reproduced by construction. See DESIGN.md §2 for the
+//! substitution argument.
+//!
+//! * [`spectra`]   — prescribed singular-value decay profiles.
+//! * [`synthetic`] — random Tucker tensors with prescribed per-mode spectra.
+//! * [`combustion`]— the HCCI / TJLR / SP surrogate field generators.
+//! * [`normalize`] — per-variable centering and scaling (Sec. VII-A).
+//! * [`datasets`]  — named presets mirroring the paper's dataset shapes.
+
+pub mod combustion;
+pub mod datasets;
+pub mod normalize;
+pub mod spectra;
+pub mod synthetic;
+
+pub use combustion::{CombustionConfig, CombustionField};
+pub use datasets::{DatasetPreset, GeneratedDataset};
+pub use normalize::{normalize_per_slice, Normalization};
+pub use spectra::SpectralDecay;
+pub use synthetic::{random_low_rank, random_tucker_with_spectra, NoisyLowRank};

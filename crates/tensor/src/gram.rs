@@ -1,0 +1,276 @@
+//! Gram matrices of tensor unfoldings: `S = Y(n) · Y(n)ᵀ`.
+//!
+//! This is the kernel of Alg. 1 line 4 and Alg. 4 line 5 of the paper. The
+//! eigenvectors of `S` are the left singular vectors of the unfolding, which is
+//! how ST-HOSVD and HOOI obtain factor matrices. With the natural layout, the
+//! Gram matrix accumulates one SYRK per contiguous subblock (the row-major
+//! `I_n × left` view of the block), and for the first mode the whole buffer is
+//! processed with a single transposed GEMM.
+
+use crate::dense::DenseTensor;
+use crate::layout::Unfolding;
+use tucker_linalg::gemm::{gemm_slices, Transpose};
+use tucker_linalg::syrk::syrk_slices;
+use tucker_linalg::Matrix;
+
+/// Computes the symmetric Gram matrix `S = Y(n) Y(n)ᵀ` of size `I_n × I_n`.
+pub fn gram(y: &DenseTensor, mode: usize) -> Matrix {
+    let dims = y.dims();
+    assert!(mode < dims.len(), "gram: mode {mode} out of range");
+    let n = dims[mode];
+    let mut s = Matrix::zeros(n, n);
+    gram_into(y, mode, &mut s);
+    s
+}
+
+/// Accumulating variant: `S ← Y(n) Y(n)ᵀ` written into a preallocated matrix.
+pub fn gram_into(y: &DenseTensor, mode: usize, s: &mut Matrix) {
+    let dims = y.dims();
+    let n = dims[mode];
+    assert_eq!(s.shape(), (n, n), "gram_into: output must be I_n × I_n");
+    let unf = Unfolding::new(dims, mode);
+    let data = y.as_slice();
+    let ldc = s.cols();
+
+    if n == 0 || y.is_empty() {
+        s.as_mut_slice().fill(0.0);
+        return;
+    }
+
+    if unf.left == 1 {
+        // First mode: the whole buffer is a column-major I_n × Î_n matrix,
+        // i.e. a row-major Î_n × I_n matrix D, and S = Dᵀ·D — one blocked GEMM.
+        let cols = unf.cols();
+        gemm_slices(
+            Transpose::Yes,
+            Transpose::No,
+            1.0,
+            data,
+            cols,
+            n,
+            n,
+            data,
+            cols,
+            n,
+            n,
+            0.0,
+            s.as_mut_slice(),
+            ldc,
+        );
+        return;
+    }
+
+    // General mode: accumulate a SYRK per contiguous subblock. Each block is a
+    // row-major I_n × left matrix with leading dimension `left`.
+    s.as_mut_slice().fill(0.0);
+    let left = unf.left;
+    for t in 0..unf.right {
+        let block = unf.block(data, t);
+        syrk_slices(1.0, block, n, left, left, 1.0, s.as_mut_slice(), ldc);
+    }
+}
+
+/// Computes the *non-symmetric* Gram pair `Y(n) · W(n)ᵀ` for two tensors of the
+/// same shape. This is the kernel of Alg. 4 line 11, where a processor
+/// multiplies its own unfolded block with a block received from another
+/// processor in the same mode-n processor "column".
+pub fn gram_pair(y: &DenseTensor, w: &DenseTensor, mode: usize) -> Matrix {
+    // The two tensors must agree in every mode except possibly the unfolding
+    // mode itself: the distributed Gram (Alg. 4) exchanges local blocks whose
+    // mode-n extents can differ by one when P_n does not divide I_n evenly.
+    for (m, (&dy, &dw)) in y.dims().iter().zip(w.dims().iter()).enumerate() {
+        if m != mode {
+            assert_eq!(
+                dy, dw,
+                "gram_pair: tensors must agree in every non-unfolding mode (mode {m})"
+            );
+        }
+    }
+    let ny = y.dim(mode);
+    let nw = w.dim(mode);
+    let unf_y = Unfolding::new(y.dims(), mode);
+    let unf_w = Unfolding::new(w.dims(), mode);
+    let mut s = Matrix::zeros(ny, nw);
+    let ydata = y.as_slice();
+    let wdata = w.as_slice();
+    let ldc = s.cols();
+
+    if ny == 0 || nw == 0 || y.is_empty() || w.is_empty() {
+        return s;
+    }
+
+    if unf_y.left == 1 {
+        let cols = unf_y.cols();
+        gemm_slices(
+            Transpose::Yes,
+            Transpose::No,
+            1.0,
+            ydata,
+            cols,
+            ny,
+            ny,
+            wdata,
+            unf_w.cols(),
+            nw,
+            nw,
+            0.0,
+            s.as_mut_slice(),
+            ldc,
+        );
+        return s;
+    }
+
+    let left = unf_y.left;
+    for t in 0..unf_y.right {
+        let yb = unf_y.block(ydata, t);
+        let wb = unf_w.block(wdata, t);
+        // S += Y_block (ny × left, row-major) · W_blockᵀ
+        gemm_slices(
+            Transpose::No,
+            Transpose::Yes,
+            1.0,
+            yb,
+            ny,
+            left,
+            left,
+            wb,
+            nw,
+            left,
+            left,
+            1.0,
+            s.as_mut_slice(),
+            ldc,
+        );
+    }
+    s
+}
+
+/// Computes the Gram pair where the two tensors may have different sizes in the
+/// *contracted* (non-mode) dimensions is **not** supported; the distributed
+/// Gram always exchanges equally-shaped local blocks, matching the paper's
+/// uniform block distribution assumption.
+///
+/// Reference (definition-based) Gram used by the test suite.
+pub fn gram_reference(y: &DenseTensor, mode: usize) -> Matrix {
+    let unf = Unfolding::new(y.dims(), mode);
+    let m = unf.materialize(y);
+    tucker_linalg::gemm::gemm(Transpose::No, Transpose::Yes, 1.0, &m, &m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(rng: &mut StdRng, dims: &[usize]) -> DenseTensor {
+        DenseTensor::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    fn assert_matrix_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "matrix mismatch {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_all_modes() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let dims = [4usize, 5, 3, 2];
+        let y = random_tensor(&mut rng, &dims);
+        for mode in 0..4 {
+            let fast = gram(&y, mode);
+            let slow = gram_reference(&y, mode);
+            assert_matrix_close(&fast, &slow, 1e-10);
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let y = random_tensor(&mut rng, &[6, 4, 5]);
+        for mode in 0..3 {
+            let s = gram(&y, mode);
+            for i in 0..s.rows() {
+                assert!(s.get(i, i) >= -1e-12);
+                for j in 0..s.cols() {
+                    assert!((s.get(i, j) - s.get(j, i)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_norm_squared() {
+        // trace(Y(n) Y(n)ᵀ) = ‖Y‖² for every mode.
+        let mut rng = StdRng::seed_from_u64(62);
+        let y = random_tensor(&mut rng, &[3, 7, 4]);
+        let ns = y.norm_sq();
+        for mode in 0..3 {
+            let s = gram(&y, mode);
+            let trace: f64 = (0..s.rows()).map(|i| s.get(i, i)).sum();
+            assert!((trace - ns).abs() < 1e-10 * (1.0 + ns));
+        }
+    }
+
+    #[test]
+    fn gram_pair_with_self_matches_gram() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let y = random_tensor(&mut rng, &[4, 3, 5]);
+        for mode in 0..3 {
+            let s1 = gram(&y, mode);
+            let s2 = gram_pair(&y, &y, mode);
+            assert_matrix_close(&s1, &s2, 1e-10);
+        }
+    }
+
+    #[test]
+    fn gram_pair_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let dims = [3usize, 4, 2, 3];
+        let y = random_tensor(&mut rng, &dims);
+        let w = random_tensor(&mut rng, &dims);
+        for mode in 0..4 {
+            let s = gram_pair(&y, &w, mode);
+            let ym = Unfolding::new(&dims, mode).materialize(&y);
+            let wm = Unfolding::new(&dims, mode).materialize(&w);
+            let expected = tucker_linalg::gemm::gemm(Transpose::No, Transpose::Yes, 1.0, &ym, &wm);
+            assert_matrix_close(&s, &expected, 1e-10);
+        }
+    }
+
+    #[test]
+    fn additivity_over_blocks() {
+        // Splitting a tensor along the last mode and summing the Grams of the
+        // pieces equals the Gram of the whole — the property the distributed
+        // Gram (Alg. 4) relies on.
+        let mut rng = StdRng::seed_from_u64(65);
+        let dims = [4usize, 3, 6];
+        let y = random_tensor(&mut rng, &dims);
+        let full = gram(&y, 0);
+
+        // Split along mode 2 into two halves (contiguous in memory).
+        let half_len = y.len() / 2;
+        let first = DenseTensor::from_vec(&[4, 3, 3], y.as_slice()[..half_len].to_vec());
+        let second = DenseTensor::from_vec(&[4, 3, 3], y.as_slice()[half_len..].to_vec());
+        let sum = gram(&first, 0).add(&gram(&second, 0));
+        assert_matrix_close(&full, &sum, 1e-10);
+    }
+
+    #[test]
+    fn two_way_tensor_first_mode() {
+        // For a matrix (2-way tensor), gram in mode 0 is X·Xᵀ.
+        let x = DenseTensor::from_fn(&[3, 4], |idx| (idx[0] * 4 + idx[1]) as f64);
+        let s = gram(&x, 0);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut expected = 0.0;
+                for k in 0..4 {
+                    expected += x.get(&[i, k]) * x.get(&[j, k]);
+                }
+                assert!((s.get(i, j) - expected).abs() < 1e-12);
+            }
+        }
+    }
+}

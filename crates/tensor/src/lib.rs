@@ -1,0 +1,30 @@
+//! Dense tensors, logical mode-n unfoldings, and the local computational
+//! kernels (TTM and Gram) of the parallel Tucker decomposition.
+//!
+//! Storage convention follows the paper (Sec. IV-C): a tensor is stored so that
+//! its mode-1 unfolding is in column-major order, i.e. the first mode varies
+//! fastest in memory ("natural"/Fortran order). Unfolding in any mode is purely
+//! logical — no data is moved — and the local kernels process the resulting
+//! block structure with BLAS-3 calls from [`tucker_linalg`].
+//!
+//! Module map:
+//! * [`dense`]  — [`DenseTensor`]: dimensions, index math, element access.
+//! * [`layout`] — the logical mode-n unfolding view and its block structure.
+//! * [`ttm`]    — tensor-times-matrix products (single mode and chains).
+//! * [`gram`]   — Gram matrices of unfoldings, `S = Y(n) Y(n)ᵀ`.
+//! * [`norms`]  — tensor norms and the error metrics reported in the paper.
+//! * [`slice`]  — subtensor extraction/insertion (for partial reconstruction).
+
+pub mod dense;
+pub mod gram;
+pub mod layout;
+pub mod norms;
+pub mod slice;
+pub mod ttm;
+
+pub use dense::DenseTensor;
+pub use gram::{gram, gram_pair};
+pub use layout::Unfolding;
+pub use norms::{frob_norm, max_abs_diff, normalized_rms_error, relative_error};
+pub use slice::{extract_subtensor, SubtensorSpec};
+pub use ttm::{multi_ttm, ttm, ttm_chain, TtmTranspose};

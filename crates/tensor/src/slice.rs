@@ -1,0 +1,238 @@
+//! Subtensor extraction and insertion.
+//!
+//! The paper highlights (Sec. II-C, VII) that a key benefit of Tucker
+//! compression is reconstructing *subsets* of the data — a single species, a
+//! few time steps, a coarser or cropped grid — without forming the full tensor.
+//! Partial reconstruction multiplies the core by row-subsets of the factor
+//! matrices; the result is a subtensor. This module provides the index-subset
+//! machinery shared by that path and by the block distribution of
+//! `tucker-core::dist`.
+
+use crate::dense::DenseTensor;
+
+/// A per-mode selection of indices describing a subtensor.
+///
+/// Mode `n` of the subtensor consists of the (not necessarily contiguous)
+/// indices `selection[n]` of the original tensor, in the given order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubtensorSpec {
+    selection: Vec<Vec<usize>>,
+}
+
+impl SubtensorSpec {
+    /// Selects every index of every mode (the identity selection).
+    pub fn all(dims: &[usize]) -> Self {
+        SubtensorSpec {
+            selection: dims.iter().map(|&d| (0..d).collect()).collect(),
+        }
+    }
+
+    /// Builds a spec from explicit index lists, one per mode.
+    ///
+    /// # Panics
+    /// Panics if any index list is empty.
+    pub fn from_indices(selection: Vec<Vec<usize>>) -> Self {
+        assert!(
+            selection.iter().all(|s| !s.is_empty()),
+            "SubtensorSpec: every mode needs at least one index"
+        );
+        SubtensorSpec { selection }
+    }
+
+    /// Builds a spec of contiguous ranges, one `(start, len)` pair per mode.
+    pub fn from_ranges(ranges: &[(usize, usize)]) -> Self {
+        SubtensorSpec {
+            selection: ranges
+                .iter()
+                .map(|&(start, len)| (start..start + len).collect())
+                .collect(),
+        }
+    }
+
+    /// Restricts a single mode to the given indices, keeping all others intact.
+    pub fn restrict_mode(mut self, mode: usize, indices: Vec<usize>) -> Self {
+        assert!(!indices.is_empty(), "restrict_mode: empty index list");
+        self.selection[mode] = indices;
+        self
+    }
+
+    /// Number of modes covered by this spec.
+    pub fn ndims(&self) -> usize {
+        self.selection.len()
+    }
+
+    /// The selected indices of mode `n`.
+    pub fn mode_indices(&self, n: usize) -> &[usize] {
+        &self.selection[n]
+    }
+
+    /// Dimensions of the resulting subtensor.
+    pub fn sub_dims(&self) -> Vec<usize> {
+        self.selection.iter().map(|s| s.len()).collect()
+    }
+
+    /// Total number of elements in the subtensor.
+    pub fn len(&self) -> usize {
+        self.selection.iter().map(|s| s.len()).product()
+    }
+
+    /// True when the subtensor would be empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validates the spec against tensor dimensions.
+    pub fn validate(&self, dims: &[usize]) {
+        assert_eq!(
+            self.selection.len(),
+            dims.len(),
+            "SubtensorSpec: mode count mismatch"
+        );
+        for (n, (sel, &d)) in self.selection.iter().zip(dims.iter()).enumerate() {
+            for &i in sel {
+                assert!(i < d, "SubtensorSpec: index {i} out of range in mode {n} (dim {d})");
+            }
+        }
+    }
+}
+
+/// Extracts the subtensor described by `spec` from `x` as a new dense tensor.
+pub fn extract_subtensor(x: &DenseTensor, spec: &SubtensorSpec) -> DenseTensor {
+    spec.validate(x.dims());
+    let sub_dims = spec.sub_dims();
+    let mut out = DenseTensor::zeros(&sub_dims);
+    let ndims = x.ndims();
+    let mut src_idx = vec![0usize; ndims];
+    // Iterate over the output in storage order, mapping indices through the spec.
+    let mut out_idx = vec![0usize; ndims];
+    for off in 0..out.len() {
+        for (k, s) in out_idx.iter().enumerate() {
+            src_idx[k] = spec.mode_indices(k)[*s];
+        }
+        let v = x.get(&src_idx);
+        out.as_mut_slice()[off] = v;
+        // advance out_idx (first mode fastest — matches storage order)
+        for (k, i) in out_idx.iter_mut().enumerate() {
+            *i += 1;
+            if *i < sub_dims[k] {
+                break;
+            }
+            *i = 0;
+        }
+    }
+    out
+}
+
+/// Writes the subtensor `sub` into `x` at the positions described by `spec`
+/// (the inverse of [`extract_subtensor`]).
+pub fn insert_subtensor(x: &mut DenseTensor, spec: &SubtensorSpec, sub: &DenseTensor) {
+    spec.validate(x.dims());
+    assert_eq!(
+        spec.sub_dims(),
+        sub.dims(),
+        "insert_subtensor: subtensor shape does not match spec"
+    );
+    let ndims = x.ndims();
+    let sub_dims = spec.sub_dims();
+    let mut src_idx = vec![0usize; ndims];
+    let mut out_idx = vec![0usize; ndims];
+    for off in 0..sub.len() {
+        for (k, s) in out_idx.iter().enumerate() {
+            src_idx[k] = spec.mode_indices(k)[*s];
+        }
+        x.set(&src_idx, sub.as_slice()[off]);
+        for (k, i) in out_idx.iter_mut().enumerate() {
+            *i += 1;
+            if *i < sub_dims[k] {
+                break;
+            }
+            *i = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numbered(dims: &[usize]) -> DenseTensor {
+        let mut count = 0.0;
+        DenseTensor::from_fn(dims, |_| {
+            count += 1.0;
+            count
+        })
+    }
+
+    #[test]
+    fn all_spec_is_identity() {
+        let x = numbered(&[3, 4, 2]);
+        let spec = SubtensorSpec::all(x.dims());
+        let sub = extract_subtensor(&x, &spec);
+        assert_eq!(sub, x);
+    }
+
+    #[test]
+    fn range_extraction() {
+        let x = numbered(&[4, 4]);
+        let spec = SubtensorSpec::from_ranges(&[(1, 2), (2, 2)]);
+        let sub = extract_subtensor(&x, &spec);
+        assert_eq!(sub.dims(), &[2, 2]);
+        assert_eq!(sub.get(&[0, 0]), x.get(&[1, 2]));
+        assert_eq!(sub.get(&[1, 1]), x.get(&[2, 3]));
+    }
+
+    #[test]
+    fn scattered_indices() {
+        let x = numbered(&[5, 3]);
+        let spec = SubtensorSpec::from_indices(vec![vec![4, 0, 2], vec![1]]);
+        let sub = extract_subtensor(&x, &spec);
+        assert_eq!(sub.dims(), &[3, 1]);
+        assert_eq!(sub.get(&[0, 0]), x.get(&[4, 1]));
+        assert_eq!(sub.get(&[1, 0]), x.get(&[0, 1]));
+        assert_eq!(sub.get(&[2, 0]), x.get(&[2, 1]));
+    }
+
+    #[test]
+    fn restrict_mode_builder() {
+        let x = numbered(&[3, 3, 3]);
+        let spec = SubtensorSpec::all(x.dims()).restrict_mode(2, vec![1]);
+        let sub = extract_subtensor(&x, &spec);
+        assert_eq!(sub.dims(), &[3, 3, 1]);
+        assert_eq!(sub.get(&[2, 2, 0]), x.get(&[2, 2, 1]));
+    }
+
+    #[test]
+    fn insert_round_trip() {
+        let mut x = DenseTensor::zeros(&[4, 4]);
+        let spec = SubtensorSpec::from_ranges(&[(1, 2), (0, 3)]);
+        let sub = numbered(&[2, 3]);
+        insert_subtensor(&mut x, &spec, &sub);
+        let back = extract_subtensor(&x, &spec);
+        assert_eq!(back, sub);
+        // Untouched entries stay zero.
+        assert_eq!(x.get(&[0, 0]), 0.0);
+        assert_eq!(x.get(&[3, 3]), 0.0);
+    }
+
+    #[test]
+    fn spec_len_and_dims() {
+        let spec = SubtensorSpec::from_indices(vec![vec![0, 2], vec![1, 2, 3]]);
+        assert_eq!(spec.sub_dims(), vec![2, 3]);
+        assert_eq!(spec.len(), 6);
+        assert_eq!(spec.ndims(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let x = numbered(&[2, 2]);
+        let spec = SubtensorSpec::from_indices(vec![vec![0], vec![5]]);
+        extract_subtensor(&x, &spec);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mode_selection_panics() {
+        SubtensorSpec::from_indices(vec![vec![0], vec![]]);
+    }
+}

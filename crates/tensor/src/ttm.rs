@@ -1,0 +1,391 @@
+//! Tensor-times-matrix (TTM) products — the central kernel of the Tucker
+//! decomposition (paper Sec. II-A, V-B).
+//!
+//! `Y = X ×_n V` multiplies the mode-n unfolding: `Y(n) = V · X(n)`, where `V`
+//! is `K × I_n`. With the natural layout of [`crate::layout`], each of the
+//! `right` contiguous subblocks of `X` is a column-major `left × I_n` matrix,
+//! so the per-block computation is a single GEMM and the result blocks land in
+//! the output tensor's natural layout directly — no transposition, no copies.
+
+use crate::dense::DenseTensor;
+use crate::layout::Unfolding;
+use tucker_linalg::gemm::{gemm_slices, Transpose};
+use tucker_linalg::Matrix;
+
+/// Whether the multiplying matrix is applied as stored or transposed.
+///
+/// ST-HOSVD and HOOI apply factor matrices transposed (`X ×_n U(n)ᵀ` with
+/// `U(n)` of size `I_n × R_n`), while reconstruction applies them as stored
+/// (`G ×_n U(n)`). Accepting the flag avoids materializing transposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TtmTranspose {
+    /// Multiply by `V` itself: `V` must be `K × I_n`.
+    NoTranspose,
+    /// Multiply by `Vᵀ`: `V` must be `I_n × K`.
+    Transpose,
+}
+
+/// Computes the mode-n TTM `Y = X ×_n op(V)`.
+///
+/// * `op(V) = V` (shape `K × I_n`) when `trans == NoTranspose`;
+/// * `op(V) = Vᵀ` (so `V` has shape `I_n × K`) when `trans == Transpose`.
+///
+/// The result has the same dimensions as `X` except mode `n` becomes `K`.
+///
+/// # Panics
+/// Panics if the matrix dimensions are incompatible with mode `n` of `X`.
+pub fn ttm(x: &DenseTensor, v: &Matrix, mode: usize, trans: TtmTranspose) -> DenseTensor {
+    let dims = x.dims();
+    assert!(mode < dims.len(), "ttm: mode {mode} out of range");
+    let in_dim = dims[mode];
+    let (vk, vin) = match trans {
+        TtmTranspose::NoTranspose => (v.rows(), v.cols()),
+        TtmTranspose::Transpose => (v.cols(), v.rows()),
+    };
+    assert_eq!(
+        vin, in_dim,
+        "ttm: matrix inner dimension {vin} does not match tensor mode {mode} size {in_dim}"
+    );
+    let k = vk;
+
+    let mut out_dims = dims.to_vec();
+    out_dims[mode] = k;
+    let mut y = DenseTensor::zeros(&out_dims);
+    if x.is_empty() || k == 0 {
+        return y;
+    }
+
+    ttm_into(x, v, mode, trans, &mut y);
+    y
+}
+
+/// In-place variant of [`ttm`]: writes the result into a preallocated tensor
+/// whose dimensions must already be correct. Used by the distributed kernels
+/// to avoid repeated allocation inside the blocked loop of Alg. 3.
+pub fn ttm_into(
+    x: &DenseTensor,
+    v: &Matrix,
+    mode: usize,
+    trans: TtmTranspose,
+    y: &mut DenseTensor,
+) {
+    let dims = x.dims();
+    let in_dim = dims[mode];
+    let (k, vin) = match trans {
+        TtmTranspose::NoTranspose => (v.rows(), v.cols()),
+        TtmTranspose::Transpose => (v.cols(), v.rows()),
+    };
+    assert_eq!(vin, in_dim, "ttm_into: inner dimension mismatch");
+    assert_eq!(y.dim(mode), k, "ttm_into: output mode dimension mismatch");
+    for (m, (&a, &b)) in dims.iter().zip(y.dims().iter()).enumerate() {
+        if m != mode {
+            assert_eq!(a, b, "ttm_into: output dimension mismatch in mode {m}");
+        }
+    }
+
+    let unf = Unfolding::new(dims, mode);
+    let left = unf.left;
+    let right = unf.right;
+    let xdata = x.as_slice();
+    let ydata = y.as_mut_slice();
+    let in_block = left * in_dim;
+    let out_block = left * k;
+
+    // The per-block computation, in row-major terms:
+    //   out_blockᵀ (k × left, row-major) = op(V) · in_blockᵀ (in_dim × left, row-major)
+    // where in_blockᵀ is exactly the raw block memory reinterpreted row-major
+    // with leading dimension `left`, and likewise for the output block.
+    let (ta, a_rows, a_cols) = match trans {
+        TtmTranspose::NoTranspose => (Transpose::No, v.rows(), v.cols()),
+        TtmTranspose::Transpose => (Transpose::Yes, v.rows(), v.cols()),
+    };
+    let lda = v.cols();
+
+    if left == 1 {
+        // First mode: the whole buffer is the column-major unfolding, so the
+        // product is a single large GEMM instead of `right` column-sized ones:
+        //   Y(1)ᵀ (Î₁ × K, row-major) = X(1)ᵀ (Î₁ × I₁, row-major) · op(V)ᵀ.
+        let cols = right;
+        gemm_slices(
+            Transpose::No,
+            match ta {
+                Transpose::No => Transpose::Yes,
+                Transpose::Yes => Transpose::No,
+            },
+            1.0,
+            xdata,
+            cols,
+            in_dim,
+            in_dim,
+            v.as_slice(),
+            a_rows,
+            a_cols,
+            lda,
+            0.0,
+            ydata,
+            k,
+        );
+        return;
+    }
+
+    for t in 0..right {
+        let xin = &xdata[t * in_block..(t + 1) * in_block];
+        let yout = &mut ydata[t * out_block..(t + 1) * out_block];
+        gemm_slices(
+            ta,
+            Transpose::No,
+            1.0,
+            v.as_slice(),
+            a_rows,
+            a_cols,
+            lda,
+            xin,
+            in_dim,
+            left,
+            left,
+            0.0,
+            yout,
+            left,
+        );
+    }
+}
+
+/// Applies a TTM in every mode listed in `matrices`, skipping `None` entries:
+/// `Y = X ×_{n ∈ modes} op(V_n)`.
+///
+/// The multiplications are applied in the order given by `order` (a permutation
+/// of the non-`None` modes); since TTMs in distinct modes commute (Sec. II-A),
+/// the order only affects intermediate sizes, not the result.
+pub fn multi_ttm(
+    x: &DenseTensor,
+    matrices: &[Option<&Matrix>],
+    trans: TtmTranspose,
+    order: &[usize],
+) -> DenseTensor {
+    assert_eq!(
+        matrices.len(),
+        x.ndims(),
+        "multi_ttm: need one (optional) matrix per mode"
+    );
+    let mut current = x.clone();
+    for &n in order {
+        if let Some(v) = matrices[n] {
+            current = ttm(&current, v, n, trans);
+        }
+    }
+    current
+}
+
+/// Convenience wrapper: applies `op(V_n)` for every mode `n` in natural order.
+pub fn ttm_chain(x: &DenseTensor, matrices: &[&Matrix], trans: TtmTranspose) -> DenseTensor {
+    assert_eq!(matrices.len(), x.ndims(), "ttm_chain: need one matrix per mode");
+    let opts: Vec<Option<&Matrix>> = matrices.iter().map(|m| Some(*m)).collect();
+    let order: Vec<usize> = (0..x.ndims()).collect();
+    multi_ttm(x, &opts, trans, &order)
+}
+
+/// Reference TTM implemented directly from the definition
+/// `Y(i_1,…,k,…,i_N) = Σ_{i_n} op(V)(k, i_n) · X(i_1,…,i_n,…,i_N)`.
+/// Used by tests to validate the GEMM-based kernel.
+pub fn ttm_reference(x: &DenseTensor, v: &Matrix, mode: usize, trans: TtmTranspose) -> DenseTensor {
+    let dims = x.dims();
+    let k = match trans {
+        TtmTranspose::NoTranspose => v.rows(),
+        TtmTranspose::Transpose => v.cols(),
+    };
+    let read_v = |kk: usize, i: usize| match trans {
+        TtmTranspose::NoTranspose => v.get(kk, i),
+        TtmTranspose::Transpose => v.get(i, kk),
+    };
+    let mut out_dims = dims.to_vec();
+    out_dims[mode] = k;
+    let mut y = DenseTensor::zeros(&out_dims);
+    let mut out_idx = vec![0usize; dims.len()];
+    for (idx, val) in x.indexed_iter() {
+        if val == 0.0 {
+            continue;
+        }
+        out_idx.clone_from_slice(&idx);
+        for kk in 0..k {
+            out_idx[mode] = kk;
+            let cur = y.get(&out_idx);
+            y.set(&out_idx, cur + read_v(kk, idx[mode]) * val);
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(rng: &mut StdRng, dims: &[usize]) -> DenseTensor {
+        DenseTensor::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    fn random_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
+        Matrix::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn assert_tensor_close(a: &DenseTensor, b: &DenseTensor, tol: f64) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "tensor mismatch {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_all_modes() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let dims = [4usize, 5, 3, 6];
+        let x = random_tensor(&mut rng, &dims);
+        for mode in 0..4 {
+            let v = random_matrix(&mut rng, 7, dims[mode]);
+            let fast = ttm(&x, &v, mode, TtmTranspose::NoTranspose);
+            let slow = ttm_reference(&x, &v, mode, TtmTranspose::NoTranspose);
+            assert_tensor_close(&fast, &slow, 1e-11);
+            assert_eq!(fast.dim(mode), 7);
+        }
+    }
+
+    #[test]
+    fn transposed_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let dims = [3usize, 6, 4];
+        let x = random_tensor(&mut rng, &dims);
+        for mode in 0..3 {
+            let v = random_matrix(&mut rng, dims[mode], 5);
+            let fast = ttm(&x, &v, mode, TtmTranspose::Transpose);
+            let slow = ttm_reference(&x, &v, mode, TtmTranspose::Transpose);
+            assert_tensor_close(&fast, &slow, 1e-11);
+            assert_eq!(fast.dim(mode), 5);
+        }
+    }
+
+    #[test]
+    fn identity_matrix_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let dims = [4usize, 3, 5];
+        let x = random_tensor(&mut rng, &dims);
+        for mode in 0..3 {
+            let i = Matrix::identity(dims[mode]);
+            let y = ttm(&x, &i, mode, TtmTranspose::NoTranspose);
+            assert_tensor_close(&x, &y, 1e-14);
+        }
+    }
+
+    #[test]
+    fn ttm_unfolding_identity() {
+        // Y(n) = V X(n): check via materialized unfoldings.
+        let mut rng = StdRng::seed_from_u64(53);
+        let dims = [3usize, 4, 5];
+        let x = random_tensor(&mut rng, &dims);
+        let mode = 1;
+        let v = random_matrix(&mut rng, 6, dims[mode]);
+        let y = ttm(&x, &v, mode, TtmTranspose::NoTranspose);
+        let xu = Unfolding::new(&dims, mode).materialize(&x);
+        let yu = Unfolding::new(y.dims(), mode).materialize(&y);
+        let expected = tucker_linalg::gemm::gemm(Transpose::No, Transpose::No, 1.0, &v, &xu);
+        for i in 0..yu.rows() {
+            for j in 0..yu.cols() {
+                assert!((yu.get(i, j) - expected.get(i, j)).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn modes_commute() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let dims = [4usize, 5, 6];
+        let x = random_tensor(&mut rng, &dims);
+        let v0 = random_matrix(&mut rng, 2, 4);
+        let v2 = random_matrix(&mut rng, 3, 6);
+        let a = ttm(
+            &ttm(&x, &v0, 0, TtmTranspose::NoTranspose),
+            &v2,
+            2,
+            TtmTranspose::NoTranspose,
+        );
+        let b = ttm(
+            &ttm(&x, &v2, 2, TtmTranspose::NoTranspose),
+            &v0,
+            0,
+            TtmTranspose::NoTranspose,
+        );
+        assert_tensor_close(&a, &b, 1e-11);
+    }
+
+    #[test]
+    fn multi_ttm_respects_order_and_skips_none() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let dims = [3usize, 4, 5];
+        let x = random_tensor(&mut rng, &dims);
+        let v0 = random_matrix(&mut rng, 2, 3);
+        let v2 = random_matrix(&mut rng, 2, 5);
+        let out = multi_ttm(
+            &x,
+            &[Some(&v0), None, Some(&v2)],
+            TtmTranspose::NoTranspose,
+            &[2, 0],
+        );
+        assert_eq!(out.dims(), &[2, 4, 2]);
+        let manual = ttm(
+            &ttm(&x, &v2, 2, TtmTranspose::NoTranspose),
+            &v0,
+            0,
+            TtmTranspose::NoTranspose,
+        );
+        assert_tensor_close(&out, &manual, 1e-12);
+    }
+
+    #[test]
+    fn ttm_chain_applies_every_mode() {
+        let mut rng = StdRng::seed_from_u64(56);
+        let dims = [3usize, 4, 2];
+        let x = random_tensor(&mut rng, &dims);
+        let ms: Vec<Matrix> = dims.iter().map(|&d| random_matrix(&mut rng, 2, d)).collect();
+        let refs: Vec<&Matrix> = ms.iter().collect();
+        let y = ttm_chain(&x, &refs, TtmTranspose::NoTranspose);
+        assert_eq!(y.dims(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn norm_contraction_with_orthonormal_rows() {
+        // Multiplying by a matrix with orthonormal rows cannot increase the norm.
+        let mut rng = StdRng::seed_from_u64(57);
+        let dims = [6usize, 5, 4];
+        let x = random_tensor(&mut rng, &dims);
+        // Build a 3x6 matrix with orthonormal rows from a QR factorization.
+        let q = tucker_linalg::qr::householder_qr(&random_matrix(&mut rng, 6, 3)).q; // 6x3
+        let y = ttm(&x, &q, 0, TtmTranspose::Transpose); // multiply by qᵀ (3x6)
+        assert!(y.norm() <= x.norm() + 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let x = DenseTensor::zeros(&[2, 3]);
+        let v = Matrix::zeros(4, 4);
+        ttm(&x, &v, 0, TtmTranspose::NoTranspose);
+    }
+
+    #[test]
+    fn two_way_tensor_is_matrix_product() {
+        let mut rng = StdRng::seed_from_u64(58);
+        let x = random_tensor(&mut rng, &[4, 5]);
+        let v = random_matrix(&mut rng, 3, 4);
+        let y = ttm(&x, &v, 0, TtmTranspose::NoTranspose);
+        // X as a matrix is 4x5 column-major; Y should equal V·X.
+        for i in 0..3 {
+            for j in 0..5 {
+                let mut s = 0.0;
+                for k in 0..4 {
+                    s += v.get(i, k) * x.get(&[k, j]);
+                }
+                assert!((y.get(&[i, j]) - s).abs() < 1e-12);
+            }
+        }
+    }
+}

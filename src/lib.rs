@@ -1,0 +1,49 @@
+//! `parallel-tucker` — an umbrella crate re-exporting the whole workspace.
+//!
+//! This crate exists so that examples, integration tests, and downstream users
+//! can depend on a single package and find every piece of the system:
+//!
+//! * [`linalg`]  — dense linear algebra kernels (GEMM, SYRK, QR, eig, SVD).
+//! * [`tensor`]  — dense tensors, logical unfoldings, local TTM/Gram kernels.
+//! * [`distmem`] — the simulated distributed-memory runtime and α-β-γ cost model.
+//! * [`core`]    — sequential and distributed ST-HOSVD / HOOI / T-HOSVD,
+//!   reconstruction, rank selection, error analysis.
+//! * [`scidata`] — synthetic combustion-surrogate datasets and normalization.
+//!
+//! See the repository README for a guided tour and the `examples/` directory
+//! for runnable end-to-end programs.
+
+pub use tucker_core as core;
+pub use tucker_distmem as distmem;
+pub use tucker_linalg as linalg;
+pub use tucker_scidata as scidata;
+pub use tucker_tensor as tensor;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use tucker_core::prelude::*;
+    pub use tucker_core::dist::{
+        dist_hooi, dist_reconstruct, dist_st_hosvd, DistTensor, DistTucker,
+    };
+    pub use tucker_distmem::{
+        spmd, spmd_with_grid, Communicator, CostModel, MachineParams, ProcGrid,
+    };
+    pub use tucker_linalg::Matrix;
+    pub use tucker_scidata::{DatasetPreset, NoisyLowRank, SpectralDecay};
+    pub use tucker_tensor::{
+        normalized_rms_error, DenseTensor, SubtensorSpec, TtmTranspose,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let x = DenseTensor::from_fn(&[8, 7, 6], |idx| (idx[0] + idx[1] * idx[2]) as f64);
+        let result = st_hosvd(&x, &SthosvdOptions::with_tolerance(1e-3));
+        let rec = result.tucker.reconstruct();
+        assert!(normalized_rms_error(&x, &rec) <= 1e-3);
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI entry point: build everything, run the full test pyramid, check style.
+#
+# The build is fully offline — external dependencies are vendored under
+# vendor/ (see README.md) — so this runs in a network-less container.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "CI OK"

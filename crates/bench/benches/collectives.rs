@@ -66,5 +66,10 @@ fn bench_all_gather(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(collectives, bench_all_reduce, bench_reduce, bench_all_gather);
+criterion_group!(
+    collectives,
+    bench_all_reduce,
+    bench_reduce,
+    bench_all_gather
+);
 criterion_main!(collectives);

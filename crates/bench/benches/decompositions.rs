@@ -27,12 +27,7 @@ fn bench_sthosvd(c: &mut Criterion) {
     for scale in [1usize, 2] {
         let x = test_tensor(scale);
         group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |bencher, _| {
-            bencher.iter(|| {
-                st_hosvd(
-                    black_box(&x),
-                    &SthosvdOptions::with_tolerance(1e-3),
-                )
-            });
+            bencher.iter(|| st_hosvd(black_box(&x), &SthosvdOptions::with_tolerance(1e-3)));
         });
     }
     group.finish();
@@ -45,12 +40,7 @@ fn bench_hooi(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     let x = test_tensor(1);
     group.bench_function("scale_1", |bencher| {
-        bencher.iter(|| {
-            hooi(
-                black_box(&x),
-                &HooiOptions::with_ranks(vec![4, 4, 3, 3], 1),
-            )
-        });
+        bencher.iter(|| hooi(black_box(&x), &HooiOptions::with_ranks(vec![4, 4, 3, 3], 1)));
     });
     group.finish();
 }
@@ -69,7 +59,8 @@ fn bench_dist_sthosvd(c: &mut Criterion) {
                 let x = x.clone();
                 spmd_with_grid(ProcGrid::new(g), move |comm| {
                     let dx = DistTensor::from_global(&comm, &x);
-                    let r = dist_st_hosvd(&comm, &dx, &SthosvdOptions::with_ranks(vec![4, 4, 3, 3]));
+                    let r =
+                        dist_st_hosvd(&comm, &dx, &SthosvdOptions::with_ranks(vec![4, 4, 3, 3]));
                     r.ranks
                 })
             });
@@ -78,5 +69,10 @@ fn bench_dist_sthosvd(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(decompositions, bench_sthosvd, bench_hooi, bench_dist_sthosvd);
+criterion_group!(
+    decompositions,
+    bench_sthosvd,
+    bench_hooi,
+    bench_dist_sthosvd
+);
 criterion_main!(decompositions);

@@ -23,7 +23,15 @@ fn bench_gemm(c: &mut Criterion) {
         let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j) as f64 * 0.01).sin());
         let b = Matrix::from_fn(n, n, |i, j| ((i + 3 * j) as f64 * 0.02).cos());
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
-            bencher.iter(|| gemm(Transpose::No, Transpose::No, 1.0, black_box(&a), black_box(&b)));
+            bencher.iter(|| {
+                gemm(
+                    Transpose::No,
+                    Transpose::No,
+                    1.0,
+                    black_box(&a),
+                    black_box(&b),
+                )
+            });
         });
     }
     group.finish();

@@ -28,7 +28,15 @@ fn main() {
         // Sample the curves at a handful of ranks (relative positions).
         let widths = [12usize, 10, 12, 12, 12, 12, 14];
         print_header(
-            &["mode", "dim", "R=1", "R=25%", "R=50%", "R=75%", "rank@eps/sqrtN"],
+            &[
+                "mode",
+                "dim",
+                "R=1",
+                "R=25%",
+                "R=50%",
+                "R=75%",
+                "rank@eps/sqrtN",
+            ],
             &widths,
         );
         let threshold = eps / n.sqrt();

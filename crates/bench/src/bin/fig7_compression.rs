@@ -33,7 +33,12 @@ fn main() {
 
     let widths = [12usize, 22, 22, 22];
     print_header(
-        &["target eps", "HCCI (err, ratio)", "TJLR (err, ratio)", "SP (err, ratio)"],
+        &[
+            "target eps",
+            "HCCI (err, ratio)",
+            "TJLR (err, ratio)",
+            "SP (err, ratio)",
+        ],
         &widths,
     );
     for (i, &eps) in epsilons.iter().enumerate() {
@@ -42,12 +47,7 @@ fn main() {
             format!("{}, {:.1}x", eng(err, 1), ratio)
         };
         print_row(
-            &[
-                format!("{eps:.0e}"),
-                cell("HCCI"),
-                cell("TJLR"),
-                cell("SP"),
-            ],
+            &[format!("{eps:.0e}"), cell("HCCI"), cell("TJLR"), cell("SP")],
             &widths,
         );
     }

@@ -34,7 +34,14 @@ fn main() {
 
     let widths = [16usize, 12, 12, 12, 12, 12];
     print_header(
-        &["grid", "total (s)", "gram (s)", "evecs (s)", "ttm (s)", "rel."],
+        &[
+            "grid",
+            "total (s)",
+            "gram (s)",
+            "evecs (s)",
+            "ttm (s)",
+            "rel.",
+        ],
         &widths,
     );
     let mut measured: Vec<(Vec<usize>, f64)> = Vec::new();

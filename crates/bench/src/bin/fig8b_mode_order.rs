@@ -30,13 +30,20 @@ fn main() {
     let orders = all_orders(4);
     let widths = [16usize, 12, 12, 12, 12, 12];
     print_header(
-        &["order", "total (s)", "gram (s)", "evecs (s)", "ttm (s)", "rel."],
+        &[
+            "order",
+            "total (s)",
+            "gram (s)",
+            "evecs (s)",
+            "ttm (s)",
+            "rel.",
+        ],
         &widths,
     );
     let mut rows: Vec<(Vec<usize>, f64, (f64, f64, f64))> = Vec::new();
     for order in &orders {
-        let opts = SthosvdOptions::with_ranks(ranks.clone())
-            .order(ModeOrder::Custom(order.clone()));
+        let opts =
+            SthosvdOptions::with_ranks(ranks.clone()).order(ModeOrder::Custom(order.clone()));
         let report = run_dist_sthosvd(&x, &grid, &opts);
         rows.push((order.clone(), report.elapsed, report.kernel_totals()));
     }
@@ -63,7 +70,12 @@ fn main() {
     let model = CostModel::new(ProcGrid::new(&[2, 2, 2, 2]), MachineParams::edison_like());
     let mut model_rows: Vec<(Vec<usize>, f64)> = all_orders(4)
         .into_iter()
-        .map(|o| (o.clone(), model.st_hosvd_time(&paper_dims, &paper_ranks, &o)))
+        .map(|o| {
+            (
+                o.clone(),
+                model.st_hosvd_time(&paper_dims, &paper_ranks, &o),
+            )
+        })
         .collect();
     model_rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     let widths = [16usize, 16];
@@ -72,7 +84,14 @@ fn main() {
         print_row(&[format!("{o:?}"), format!("{t:.3}")], &widths);
     }
     println!("  …");
-    for (o, t) in model_rows.iter().rev().take(2).collect::<Vec<_>>().iter().rev() {
+    for (o, t) in model_rows
+        .iter()
+        .rev()
+        .take(2)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         print_row(&[format!("{o:?}"), format!("{t:.3}")], &widths);
     }
 
@@ -95,8 +114,14 @@ fn main() {
     );
     let ratio_first = ModeOrder::GreedyRatio.resolve(&paper_dims, &paper_ranks)[0];
     let flops_first = ModeOrder::GreedyFlops.resolve(&paper_dims, &paper_ranks)[0];
-    assert_eq!(ratio_first, 1, "greedy-ratio heuristic starts with the second mode");
-    assert_eq!(flops_first, 0, "greedy-flops heuristic starts with the first mode");
+    assert_eq!(
+        ratio_first, 1,
+        "greedy-ratio heuristic starts with the second mode"
+    );
+    assert_eq!(
+        flops_first, 0,
+        "greedy-flops heuristic starts with the first mode"
+    );
     let measured_best = &rows[0].0;
     assert!(
         measured_best[0] == 0 || measured_best[0] == 1,

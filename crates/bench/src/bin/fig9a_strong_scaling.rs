@@ -34,7 +34,13 @@ fn main() {
         &["grid", "P", "time (s)", "words moved", "flops/rank"],
         &widths,
     );
-    let grids = [vec![1usize, 1, 1, 1], vec![2, 1, 1, 1], vec![2, 2, 1, 1], vec![2, 2, 2, 1], vec![2, 2, 2, 2]];
+    let grids = [
+        vec![1usize, 1, 1, 1],
+        vec![2, 1, 1, 1],
+        vec![2, 2, 1, 1],
+        vec![2, 2, 2, 1],
+        vec![2, 2, 2, 2],
+    ];
     let mut words = Vec::new();
     for g in &grids {
         let p: usize = g.iter().product();
@@ -68,7 +74,13 @@ fn main() {
     let params = MachineParams::edison_like();
     let widths = [8usize, 8, 18, 18, 14];
     print_header(
-        &["nodes", "cores", "ST-HOSVD (s)", "+1 HOOI iter (s)", "speedup"],
+        &[
+            "nodes",
+            "cores",
+            "ST-HOSVD (s)",
+            "+1 HOOI iter (s)",
+            "speedup",
+        ],
         &widths,
     );
     let mut first_time = None;

@@ -21,10 +21,7 @@ fn main() {
     // ------------------------------------------------------------------
     println!("Fig. 9b (measured, simulated runtime) — constant 12^4 data per rank\n");
     let widths = [16usize, 8, 14, 18, 18];
-    print_header(
-        &["grid", "P", "dims", "words moved", "flops/rank"],
-        &widths,
-    );
+    print_header(&["grid", "P", "dims", "words moved", "flops/rank"], &widths);
     let mut per_rank_flops = Vec::new();
     for k in 1..=2usize {
         let grid: Vec<usize> = vec![k, k, k, k];
@@ -64,7 +61,14 @@ fn main() {
     let peak_per_core = 1.0 / params.gamma; // flop/s
     let widths = [6usize, 10, 14, 16, 18, 14];
     print_header(
-        &["k", "nodes", "cores", "data size", "GFLOPS/core", "% of peak"],
+        &[
+            "k",
+            "nodes",
+            "cores",
+            "data size",
+            "GFLOPS/core",
+            "% of peak",
+        ],
         &widths,
     );
     let mut efficiencies = Vec::new();
@@ -113,7 +117,10 @@ fn main() {
         efficiencies.windows(2).all(|w| w[1] <= w[0] + 1e-9),
         "per-core efficiency must not increase with scale"
     );
-    assert!(efficiencies[0] > 0.3, "single-node efficiency should be tens of percent");
+    assert!(
+        efficiencies[0] > 0.3,
+        "single-node efficiency should be tens of percent"
+    );
     assert!(
         *efficiencies.last().unwrap() > 0.05,
         "largest-scale efficiency should stay above a few percent"

@@ -57,9 +57,15 @@ fn main() {
     );
 
     let cases: [(&str, f64); 3] = [
-        ("all-gather", collective_cost::all_gather(p as f64, w as f64).words),
+        (
+            "all-gather",
+            collective_cost::all_gather(p as f64, w as f64).words,
+        ),
         ("reduce", collective_cost::reduce(p as f64, w as f64).words),
-        ("all-reduce", collective_cost::all_reduce(p as f64, w as f64).words),
+        (
+            "all-reduce",
+            collective_cost::all_reduce(p as f64, w as f64).words,
+        ),
     ];
     for (name, predicted) in cases {
         // For all-gather the model's W is the *total* gathered volume; each rank

@@ -62,7 +62,10 @@ fn main() {
 
         // Shape checks mirroring the paper's observations.
         assert!(st_err <= eps, "ST-HOSVD must satisfy the error threshold");
-        assert!(ho_err <= st_err + 1e-12, "HOOI must not be worse than ST-HOSVD");
+        assert!(
+            ho_err <= st_err + 1e-12,
+            "HOOI must not be worse than ST-HOSVD"
+        );
         // HOOI gives only marginal improvement (Sec. VII-C). Skip the relative
         // check when the error sits at machine precision (untruncated modes),
         // where the ratio is pure rounding noise.

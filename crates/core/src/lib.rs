@@ -5,7 +5,7 @@
 //! (Austin, Ballard & Kolda, *Parallel Tensor Compression for Large-Scale
 //! Scientific Data*, IPDPS 2016):
 //!
-//! * **Sequential algorithms** — [`sthosvd`] (Alg. 1), [`hooi`] (Alg. 2),
+//! * **Sequential algorithms** — [`sthosvd`] (Alg. 1), [`hooi`](mod@hooi) (Alg. 2),
 //!   [`thosvd`] (the classical truncated HOSVD baseline), and
 //!   [`reconstruct`] (full and partial reconstruction, eq. (1)).
 //! * **Distributed algorithms** — the [`dist`] module provides the

@@ -40,7 +40,11 @@ impl ModeOrder {
     /// Panics if a custom order is not a permutation of `0..dims.len()`.
     pub fn resolve(&self, dims: &[usize], rank_hint: &[usize]) -> Vec<usize> {
         let n = dims.len();
-        assert_eq!(rank_hint.len(), n, "ModeOrder::resolve: rank hint arity mismatch");
+        assert_eq!(
+            rank_hint.len(),
+            n,
+            "ModeOrder::resolve: rank hint arity mismatch"
+        );
         match self {
             ModeOrder::Natural => (0..n).collect(),
             ModeOrder::Custom(order) => {
@@ -98,10 +102,7 @@ fn greedy_order(dims: &[usize], ranks: &[usize], criterion: GreedyCriterion) -> 
                         GreedyCriterion::Ratio => -(current[m] / ranks[m].max(1) as f64),
                     }
                 };
-                score(a)
-                    .partial_cmp(&score(b))
-                    .unwrap()
-                    .then(a.cmp(&b))
+                score(a).partial_cmp(&score(b)).unwrap().then(a.cmp(&b))
             })
             .expect("remaining modes is non-empty");
         order.push(best);

@@ -68,7 +68,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use tucker_tensor::extract_subtensor;
 
-    fn compressed_random(rng: &mut StdRng, dims: &[usize], eps: f64) -> (DenseTensor, TuckerTensor) {
+    fn compressed_random(
+        rng: &mut StdRng,
+        dims: &[usize],
+        eps: f64,
+    ) -> (DenseTensor, TuckerTensor) {
         let x = DenseTensor::from_fn(dims, |idx| {
             let mut v = 0.0;
             for (k, &i) in idx.iter().enumerate() {
@@ -118,9 +122,7 @@ mod tests {
         for i in 0..5 {
             for j in 0..5 {
                 for k in 0..6 {
-                    assert!(
-                        (coarse.get(&[i, j, k]) - full.get(&[2 * i, 2 * j, k])).abs() < 1e-10
-                    );
+                    assert!((coarse.get(&[i, j, k]) - full.get(&[2 * i, 2 * j, k])).abs() < 1e-10);
                 }
             }
         }

@@ -274,8 +274,7 @@ mod tests {
         let loose = st_hosvd(&x, &SthosvdOptions::with_tolerance(1e-1));
         let tight = st_hosvd(&x, &SthosvdOptions::with_tolerance(1e-6));
         assert!(
-            loose.tucker.compression_ratio(x.dims())
-                >= tight.tucker.compression_ratio(x.dims())
+            loose.tucker.compression_ratio(x.dims()) >= tight.tucker.compression_ratio(x.dims())
         );
     }
 }

@@ -40,10 +40,7 @@ pub fn broadcast(group: &SubCommunicator<'_>, root: usize, data: &[f64]) -> Vec<
             let partner = me + mask;
             if partner < p {
                 let dst = (partner + root) % p;
-                group.send(
-                    dst,
-                    buf.as_ref().expect("broadcast: sender without data"),
-                );
+                group.send(dst, buf.as_ref().expect("broadcast: sender without data"));
             }
         } else if me < 2 * mask {
             let partner = me - mask;
@@ -299,7 +296,10 @@ mod tests {
                     broadcast(g, root, &data)
                 });
                 for r in results {
-                    assert_eq!(r, (0..5).map(|i| (i + 100 * root) as f64).collect::<Vec<_>>());
+                    assert_eq!(
+                        r,
+                        (0..5).map(|i| (i + 100 * root) as f64).collect::<Vec<_>>()
+                    );
                 }
             }
         }

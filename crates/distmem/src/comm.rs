@@ -35,12 +35,10 @@ impl Communicator {
     pub fn create_world(grid: ProcGrid) -> Vec<Communicator> {
         let p = grid.size();
         // channels[src][dst]
-        let mut senders: Vec<Vec<Option<Sender<Vec<f64>>>>> = (0..p)
-            .map(|_| (0..p).map(|_| None).collect())
-            .collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Vec<f64>>>>> = (0..p)
-            .map(|_| (0..p).map(|_| None).collect())
-            .collect();
+        let mut senders: Vec<Vec<Option<Sender<Vec<f64>>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Vec<f64>>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for src in 0..p {
             for dst in 0..p {
                 let (tx, rx) = unbounded();

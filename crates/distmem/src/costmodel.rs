@@ -190,8 +190,16 @@ impl CostModel {
         let jhat = j / dims[n] as f64;
         let kf = k as f64;
         let flops = 2.0 * j * kf / p;
-        let messages = if pn > 1.0 { pn * pn.log2().max(1.0) } else { 0.0 };
-        let words = if pn > 1.0 { (pn - 1.0) * jhat * kf / p } else { 0.0 };
+        let messages = if pn > 1.0 {
+            pn * pn.log2().max(1.0)
+        } else {
+            0.0
+        };
+        let words = if pn > 1.0 {
+            (pn - 1.0) * jhat * kf / p
+        } else {
+            0.0
+        };
         KernelCost {
             messages,
             words,
@@ -235,7 +243,11 @@ impl CostModel {
         let pn = self.grid.dim(n) as f64;
         let i = in_dim as f64;
         let messages = if pn > 1.0 { pn.log2().ceil() } else { 0.0 };
-        let words = if pn > 1.0 { (pn - 1.0) / pn * i * i } else { 0.0 };
+        let words = if pn > 1.0 {
+            (pn - 1.0) / pn * i * i
+        } else {
+            0.0
+        };
         let flops = 10.0 / 3.0 * i * i * i;
         KernelCost {
             messages,
@@ -323,7 +335,10 @@ impl CostModel {
             .enumerate()
             .map(|(n, (&d, &r))| (d as f64) * (r as f64) / self.grid.dim(n) as f64)
             .sum();
-        let max_in2 = dims.iter().map(|&d| (d as f64) * (d as f64)).fold(0.0, f64::max);
+        let max_in2 = dims
+            .iter()
+            .map(|&d| (d as f64) * (d as f64))
+            .fold(0.0, f64::max);
         let max_rnin = dims
             .iter()
             .zip(ranks.iter())

@@ -80,7 +80,11 @@ impl ProcGrid {
 
     /// Converts grid coordinates back to a rank.
     pub fn rank(&self, coords: &[usize]) -> usize {
-        assert_eq!(coords.len(), self.ndims(), "ProcGrid: coordinate arity mismatch");
+        assert_eq!(
+            coords.len(),
+            self.ndims(),
+            "ProcGrid: coordinate arity mismatch"
+        );
         let mut rank = 0usize;
         let mut stride = 1usize;
         for (k, (&c, &p)) in coords.iter().zip(self.shape.iter()).enumerate() {
@@ -122,7 +126,9 @@ impl ProcGrid {
     /// Position of `rank` within its mode-`n` row.
     pub fn row_position(&self, rank: usize, n: usize) -> usize {
         let row = self.mode_row(rank, n);
-        row.iter().position(|&r| r == rank).expect("rank not in its own row")
+        row.iter()
+            .position(|&r| r == rank)
+            .expect("rank not in its own row")
     }
 
     /// Splits a global extent `len` into `parts` near-equal contiguous pieces and

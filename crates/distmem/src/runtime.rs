@@ -61,7 +61,10 @@ where
     });
     let elapsed = start.elapsed().as_secs_f64();
     SpmdHandle {
-        results: results.into_iter().map(|o| o.expect("missing rank result")).collect(),
+        results: results
+            .into_iter()
+            .map(|o| o.expect("missing rank result"))
+            .collect(),
         stats: stats_handles.iter().map(|s| s.snapshot()).collect(),
         elapsed,
     }

@@ -50,7 +50,8 @@ impl CommStats {
     /// Records a received message of `words` `f64` words.
     pub fn record_recv(&self, words: usize) {
         self.messages_received.fetch_add(1, Ordering::Relaxed);
-        self.words_received.fetch_add(words as u64, Ordering::Relaxed);
+        self.words_received
+            .fetch_add(words as u64, Ordering::Relaxed);
     }
 
     /// Records participation in one collective operation.

@@ -5,9 +5,9 @@
 //! from-scratch, pure-Rust replacements with the same mathematical contracts:
 //!
 //! * [`Matrix`] — a dense, row-major, owned matrix of `f64`.
-//! * [`gemm`] — general matrix-matrix multiplication with transpose options,
+//! * [`gemm`](mod@gemm) — general matrix-matrix multiplication with transpose options,
 //!   cache-blocked and optionally multi-threaded.
-//! * [`syrk`] — symmetric rank-k update `C = A Aᵀ` (the Gram kernel).
+//! * [`syrk`](mod@syrk) — symmetric rank-k update `C = A Aᵀ` (the Gram kernel).
 //! * [`eig`] — symmetric eigendecomposition (Householder tridiagonalization +
 //!   implicit-shift QL, with a cyclic Jacobi fallback), returning eigenpairs in
 //!   descending eigenvalue order as the Tucker rank-selection logic requires.

@@ -1,7 +1,7 @@
 //! Dense, row-major, owned `f64` matrix.
 //!
 //! The Tucker kernels mostly operate directly on raw slices with explicit
-//! leading dimensions (see [`crate::gemm`]), but factor matrices, Gram
+//! leading dimensions (see [`crate::gemm`](mod@crate::gemm)), but factor matrices, Gram
 //! matrices, and eigenvector matrices are carried around as [`Matrix`] values.
 //! Row-major storage matches the paper's choice for local factor-matrix blocks
 //! (Sec. IV-B: "the local matrices are stored in row-major order").
@@ -235,7 +235,7 @@ impl Matrix {
             .collect()
     }
 
-    /// Matrix product `self · other` (convenience wrapper over [`crate::gemm`]).
+    /// Matrix product `self · other` (convenience wrapper over [`crate::gemm()`]).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         crate::gemm::gemm(
             crate::gemm::Transpose::No,

@@ -216,7 +216,10 @@ mod tests {
         let a = Matrix::from_fn(3, 2, |i, j| u[i] * v[j]);
         let svd = jacobi_svd(&a);
         assert!(svd.s[0] > 1.0);
-        assert!(svd.s[1].abs() < 1e-10, "second singular value should vanish");
+        assert!(
+            svd.s[1].abs() < 1e-10,
+            "second singular value should vanish"
+        );
     }
 
     #[test]

@@ -194,7 +194,8 @@ impl CombustionConfig {
             value
         });
 
-        let mut mode_labels: Vec<String> = (0..nspace).map(|d| format!("Spatial {}", d + 1)).collect();
+        let mut mode_labels: Vec<String> =
+            (0..nspace).map(|d| format!("Spatial {}", d + 1)).collect();
         mode_labels.push("Species".to_string());
         mode_labels.push("Time".to_string());
 

@@ -157,14 +157,8 @@ mod tests {
     #[test]
     fn surrogate_mode_counts_match_paper_structure() {
         // HCCI is 4-way (2-D grid), TJLR and SP are 5-way (3-D grids).
-        assert_eq!(
-            DatasetPreset::Hcci.surrogate_config(1, 0).grid.len() + 2,
-            4
-        );
-        assert_eq!(
-            DatasetPreset::Tjlr.surrogate_config(1, 0).grid.len() + 2,
-            5
-        );
+        assert_eq!(DatasetPreset::Hcci.surrogate_config(1, 0).grid.len() + 2, 4);
+        assert_eq!(DatasetPreset::Tjlr.surrogate_config(1, 0).grid.len() + 2, 5);
         assert_eq!(DatasetPreset::Sp.surrogate_config(1, 0).grid.len() + 2, 5);
     }
 

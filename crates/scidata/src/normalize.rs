@@ -74,11 +74,7 @@ pub fn normalize_per_slice(x: &mut DenseTensor, mode: usize) -> Normalization {
         stds[i] = var.sqrt();
     }
 
-    let norm = Normalization {
-        mode,
-        means,
-        stds,
-    };
+    let norm = Normalization { mode, means, stds };
     // Pass 2: transform in place.
     let norm_ref = norm.clone();
     apply_slicewise(x, mode, |i, v| {

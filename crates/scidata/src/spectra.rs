@@ -92,23 +92,36 @@ mod tests {
 
     #[test]
     fn step_profile() {
-        let s = SpectralDecay::Step { rank: 3, floor: 1e-6 }.generate(6);
+        let s = SpectralDecay::Step {
+            rank: 3,
+            floor: 1e-6,
+        }
+        .generate(6);
         assert_eq!(&s[..3], &[1.0, 1.0, 1.0]);
         assert!(s[3..].iter().all(|&v| v == 1e-6));
     }
 
     #[test]
     fn floor_clamps_exponential() {
-        let s = SpectralDecay::ExponentialWithFloor { rate: 2.0, floor: 1e-3 }.generate(20);
+        let s = SpectralDecay::ExponentialWithFloor {
+            rate: 2.0,
+            floor: 1e-3,
+        }
+        .generate(20);
         assert!(s.iter().all(|&v| v >= 1e-3));
         assert!((s[0] - 1.0).abs() < 1e-15);
     }
 
     #[test]
     fn effective_rank_counts_above_threshold() {
-        let d = SpectralDecay::Step { rank: 4, floor: 1e-8 };
+        let d = SpectralDecay::Step {
+            rank: 4,
+            floor: 1e-8,
+        };
         assert_eq!(d.effective_rank(10, 1e-4), 4);
-        let e = SpectralDecay::Exponential { rate: f64::ln(10.0) };
+        let e = SpectralDecay::Exponential {
+            rate: f64::ln(10.0),
+        };
         // σ_i = 10^-i: values ≥ 9e-3 are i = 0,1,2 (a strict 1e-2 cutoff would
         // sit exactly on the floating-point boundary of σ_2).
         assert_eq!(e.effective_rank(10, 9e-3), 3);
@@ -116,6 +129,8 @@ mod tests {
 
     #[test]
     fn generate_zero_length() {
-        assert!(SpectralDecay::Exponential { rate: 1.0 }.generate(0).is_empty());
+        assert!(SpectralDecay::Exponential { rate: 1.0 }
+            .generate(0)
+            .is_empty());
     }
 }

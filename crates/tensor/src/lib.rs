@@ -10,10 +10,10 @@
 //! Module map:
 //! * [`dense`]  — [`DenseTensor`]: dimensions, index math, element access.
 //! * [`layout`] — the logical mode-n unfolding view and its block structure.
-//! * [`ttm`]    — tensor-times-matrix products (single mode and chains).
-//! * [`gram`]   — Gram matrices of unfoldings, `S = Y(n) Y(n)ᵀ`.
+//! * [`ttm`](mod@ttm)    — tensor-times-matrix products (single mode and chains).
+//! * [`gram`](mod@gram)   — Gram matrices of unfoldings, `S = Y(n) Y(n)ᵀ`.
 //! * [`norms`]  — tensor norms and the error metrics reported in the paper.
-//! * [`slice`]  — subtensor extraction/insertion (for partial reconstruction).
+//! * [`slice`](mod@slice)  — subtensor extraction/insertion (for partial reconstruction).
 
 pub mod dense;
 pub mod gram;

@@ -90,7 +90,10 @@ impl SubtensorSpec {
         );
         for (n, (sel, &d)) in self.selection.iter().zip(dims.iter()).enumerate() {
             for &i in sel {
-                assert!(i < d, "SubtensorSpec: index {i} out of range in mode {n} (dim {d})");
+                assert!(
+                    i < d,
+                    "SubtensorSpec: index {i} out of range in mode {n} (dim {d})"
+                );
             }
         }
     }

@@ -178,7 +178,11 @@ pub fn multi_ttm(
 
 /// Convenience wrapper: applies `op(V_n)` for every mode `n` in natural order.
 pub fn ttm_chain(x: &DenseTensor, matrices: &[&Matrix], trans: TtmTranspose) -> DenseTensor {
-    assert_eq!(matrices.len(), x.ndims(), "ttm_chain: need one matrix per mode");
+    assert_eq!(
+        matrices.len(),
+        x.ndims(),
+        "ttm_chain: need one matrix per mode"
+    );
     let opts: Vec<Option<&Matrix>> = matrices.iter().map(|m| Some(*m)).collect();
     let order: Vec<usize> = (0..x.ndims()).collect();
     multi_ttm(x, &opts, trans, &order)
@@ -345,7 +349,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(56);
         let dims = [3usize, 4, 2];
         let x = random_tensor(&mut rng, &dims);
-        let ms: Vec<Matrix> = dims.iter().map(|&d| random_matrix(&mut rng, 2, d)).collect();
+        let ms: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| random_matrix(&mut rng, 2, d))
+            .collect();
         let refs: Vec<&Matrix> = ms.iter().collect();
         let y = ttm_chain(&x, &refs, TtmTranspose::NoTranspose);
         assert_eq!(y.dims(), &[2, 2, 2]);

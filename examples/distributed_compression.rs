@@ -38,7 +38,12 @@ fn main() {
     );
 
     // Distributed runs on growing processor grids.
-    for grid_shape in [vec![1usize, 1, 1, 1], vec![2, 1, 1, 1], vec![2, 2, 1, 1], vec![2, 2, 2, 1]] {
+    for grid_shape in [
+        vec![1usize, 1, 1, 1],
+        vec![2, 1, 1, 1],
+        vec![2, 2, 1, 1],
+        vec![2, 2, 2, 1],
+    ] {
         let x_clone = x.clone();
         let grid = ProcGrid::new(&grid_shape);
         let p = grid.size();
@@ -58,13 +63,7 @@ fn main() {
         println!(
             "P = {:<3} grid {:?}: ranks {:?}, error {:.2e}, {:.3} s wall, \
              {:>8} messages, {:>10} words moved",
-            p,
-            grid_shape,
-            ranks,
-            err,
-            handle.elapsed,
-            stats.messages_sent,
-            stats.words_sent
+            p, grid_shape, ranks, err, handle.elapsed, stats.messages_sent, stats.words_sent
         );
         assert_eq!(ranks, seq.ranks, "distributed ranks must match sequential");
     }

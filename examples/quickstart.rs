@@ -1,6 +1,10 @@
 //! Quickstart: compress a synthetic scientific tensor, inspect the result,
 //! reconstruct, and measure the error.
 //!
+//! Exercises the paper's core sequential workflow (Secs. II–III): ST-HOSVD
+//! with ε-driven rank selection (Alg. 1), HOOI refinement (Alg. 2), and
+//! partial reconstruction from the compressed form (eq. (1), Sec. II-C).
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example quickstart
@@ -14,7 +18,8 @@ fn main() {
     //    spatial dimensions, a handful of variables, and time steps.
     // ------------------------------------------------------------------
     let dims = [40usize, 40, 8, 20];
-    println!("Generating a {:?} tensor ({} values, {:.1} MB)…",
+    println!(
+        "Generating a {:?} tensor ({} values, {:.1} MB)…",
         dims,
         dims.iter().product::<usize>(),
         dims.iter().product::<usize>() as f64 * 8.0 / 1e6
@@ -37,7 +42,10 @@ fn main() {
     // ------------------------------------------------------------------
     // 2. Compress with ST-HOSVD at a few tolerances.
     // ------------------------------------------------------------------
-    println!("\n{:<10} {:>18} {:>14} {:>14}", "epsilon", "core size", "compression", "actual error");
+    println!(
+        "\n{:<10} {:>18} {:>14} {:>14}",
+        "epsilon", "core size", "compression", "actual error"
+    );
     for eps in [1e-2, 1e-4, 1e-6] {
         let result = st_hosvd(&x, &SthosvdOptions::with_tolerance(eps));
         let rec = result.tucker.reconstruct();

@@ -52,9 +52,9 @@ fn main() {
 
     // --- Query 2: time history of one probe point ----------------------------
     let probe = SubtensorSpec::from_indices(vec![
-        vec![24],          // x
-        vec![24],          // y
-        vec![species],     // variable
+        vec![24],               // x
+        vec![24],               // y
+        vec![species],          // variable
         (0..dims[3]).collect(), // all time steps
     ]);
     let history = reconstruct_subtensor(&model, &probe);

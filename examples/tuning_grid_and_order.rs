@@ -37,9 +37,7 @@ fn main() {
     for (shape, t) in grids.iter().take(5) {
         println!("  {:<20} {:>12.4} ms", format!("{shape:?}"), t * 1e3);
     }
-    println!(
-        "  … best grids put P_n = 1 on the first processed mode, as in Sec. VIII-B.\n"
-    );
+    println!("  … best grids put P_n = 1 on the first processed mode, as in Sec. VIII-B.\n");
 
     // ---------------------------------------------------------------
     // 2. Mode-order sweep via the cost model (Fig. 8b's question).
@@ -54,7 +52,10 @@ fn main() {
         })
         .collect();
     orders.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    println!("Cost-model ranking of mode orders on grid {:?}:", grid.shape());
+    println!(
+        "Cost-model ranking of mode orders on grid {:?}:",
+        grid.shape()
+    );
     println!("  {:<16} {:>14}", "order", "predicted time");
     for (o, t) in orders.iter().take(3) {
         println!("  {:<16} {:>12.4} ms", format!("{o:?}"), t * 1e3);
@@ -79,8 +80,8 @@ fn main() {
     let worst_order = orders.last().unwrap().0.clone();
     println!("\nMeasured (sequential) ST-HOSVD time for the best vs worst predicted order:");
     for (label, order) in [("best", best_order), ("worst", worst_order)] {
-        let opts = SthosvdOptions::with_ranks(vec![4, 4, 12, 12])
-            .order(ModeOrder::Custom(order.clone()));
+        let opts =
+            SthosvdOptions::with_ranks(vec![4, 4, 12, 12]).order(ModeOrder::Custom(order.clone()));
         let t0 = std::time::Instant::now();
         let result = st_hosvd(&x, &opts);
         let elapsed = t0.elapsed().as_secs_f64();

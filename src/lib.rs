@@ -21,18 +21,16 @@ pub use tucker_tensor as tensor;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use tucker_core::prelude::*;
     pub use tucker_core::dist::{
         dist_hooi, dist_reconstruct, dist_st_hosvd, DistTensor, DistTucker,
     };
+    pub use tucker_core::prelude::*;
     pub use tucker_distmem::{
         spmd, spmd_with_grid, Communicator, CostModel, MachineParams, ProcGrid,
     };
     pub use tucker_linalg::Matrix;
     pub use tucker_scidata::{DatasetPreset, NoisyLowRank, SpectralDecay};
-    pub use tucker_tensor::{
-        normalized_rms_error, DenseTensor, SubtensorSpec, TtmTranspose,
-    };
+    pub use tucker_tensor::{normalized_rms_error, DenseTensor, SubtensorSpec, TtmTranspose};
 }
 
 #[cfg(test)]

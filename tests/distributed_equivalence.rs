@@ -28,7 +28,13 @@ fn distributed_sthosvd_matches_sequential_on_many_grids() {
     let seq = st_hosvd(&x, &opts);
     let seq_rec = seq.tucker.reconstruct();
 
-    for grid_shape in [vec![1usize, 1, 1], vec![2, 1, 1], vec![1, 2, 2], vec![2, 2, 2], vec![3, 2, 1]] {
+    for grid_shape in [
+        vec![1usize, 1, 1],
+        vec![2, 1, 1],
+        vec![1, 2, 2],
+        vec![2, 2, 2],
+        vec![3, 2, 1],
+    ] {
         let x2 = x.clone();
         let opts2 = opts.clone();
         let results = spmd_with_grid(ProcGrid::new(&grid_shape), move |comm| {

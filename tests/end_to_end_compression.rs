@@ -128,7 +128,10 @@ fn normalization_then_compression_round_trips_to_physical_units() {
     norm.invert(&mut rec);
 
     let err = normalized_rms_error(&physical, &rec);
-    assert!(err < 1e-3, "physical-units reconstruction error too large: {err}");
+    assert!(
+        err < 1e-3,
+        "physical-units reconstruction error too large: {err}"
+    );
 }
 
 #[test]

@@ -1,0 +1,264 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!` — as a plain wall-clock harness:
+//! each benchmark runs a short warm-up, then `sample_size` timed samples, and
+//! the median time per iteration is printed. There is no statistical analysis,
+//! outlier detection, or HTML report; swap in the real criterion when a
+//! registry is available.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark case within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a warm-up phase, then `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness always runs exactly
+    /// `sample_size` samples regardless of the measurement budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run_case(&mut self, id: String, run: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+        };
+        run(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &mut bencher.samples);
+    }
+
+    /// Benchmarks a closure under the given id.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_case(id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_case(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens per-benchmark; nothing is buffered).
+    pub fn finish(self) {}
+}
+
+/// Throughput declaration (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            warm_up_time: Duration::from_millis(100),
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.default_sample_size,
+            warm_up_time: Duration::from_millis(100),
+        };
+        f(&mut bencher);
+        report(&id.to_string(), &mut bencher.samples);
+        self
+    }
+}
+
+fn report(label: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    println!(
+        "{label:<40} median {}  [{} .. {}]  ({} samples)",
+        fmt_time(median),
+        fmt_time(lo),
+        fmt_time(hi),
+        samples.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:8.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:8.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:8.3} µs", secs * 1e6)
+    } else {
+        format!("{:8.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_all_cases() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        let mut runs = 0usize;
+        group.bench_function("case", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.finish();
+        // At least warm-up once plus three samples.
+        assert!(runs >= 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("ttm", 3).to_string(), "ttm/3");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build environment cannot reach crates.io, so this crate implements the
+//! small API subset the workspace uses — `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over `f64`/integer ranges, and `Rng::gen_bool` — on top of
+//! a splitmix64 generator. It is deterministic for a given seed (what the test
+//! suites rely on) and statistically solid for generating test fixtures, but it
+//! is *not* a cryptographic or research-grade RNG.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding trait mirroring `rand::SeedableRng` for the `seed_from_u64` entry
+/// point the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Creates a deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling trait mirroring the `rand::Rng` surface the workspace uses.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` built from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b` over `f64`, `usize`,
+    /// `u64`, `i64`, `u32`, `i32`).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.next_f64() < p
+    }
+}
+
+/// A range that `Rng::gen_range` can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample_from<G: Rng>(self, rng: &mut G) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<G: Rng>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_from<G: Rng>(self, rng: &mut G) -> f64 {
+        let (a, b) = (*self.start(), *self.end());
+        assert!(a <= b, "gen_range: empty f64 range");
+        a + (b - a) * rng.next_f64()
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng>(self, rng: &mut G) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "gen_range: empty integer range");
+                let span = (b - a) as u64 + 1;
+                a + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<G: Rng>(self, rng: &mut G) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "gen_range: empty integer range");
+                let span = b.wrapping_sub(a) as u64 + 1;
+                a.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i64, i32);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble the seed once so nearby seeds diverge immediately.
+            let mut rng = StdRng { state: seed };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn values_cover_the_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            lo |= v < 0.1;
+            hi |= v > 0.9;
+        }
+        assert!(lo && hi, "samples never reached the interval edges");
+    }
+}

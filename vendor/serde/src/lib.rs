@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names (as both marker traits and
+//! no-op derive macros) so the workspace compiles without network access to
+//! crates.io. Nothing is actually serialized; replace this vendored crate with
+//! the real serde when a registry is available.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+// Re-export the no-op derives under the same names, mirroring serde's
+// `derive` feature: `use serde::{Serialize, Deserialize}` imports the trait
+// and the derive macro together.
+pub use serde_derive::{Deserialize, Serialize};

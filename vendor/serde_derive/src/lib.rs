@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro crate
+//! provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` that accept the
+//! same attribute grammar but expand to nothing. The workspace only uses the
+//! derives as markers today; swap in the real serde to get actual
+//! serialization.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -12,6 +12,11 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== table3_storage (storage-layer shape check) =="
+# The binary asserts finite compression ratios and round-trip errors within
+# the declared eps + quantization budget; any violation exits non-zero.
+cargo run --release -p tucker-bench --bin table3_storage
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

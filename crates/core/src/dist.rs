@@ -29,7 +29,7 @@ use std::time::Instant;
 use crate::hooi::HooiOptions;
 use crate::rank::{discarded_tail, RankSelection};
 use crate::tucker::TuckerTensor;
-use tucker_distmem::collectives::{all_gather, all_reduce};
+use tucker_distmem::collectives::{all_gather, all_reduce, reduce_scatter_blocks};
 use tucker_distmem::{Communicator, ProcGrid, SubCommunicator};
 use tucker_linalg::eig::{sym_eig_desc, SymEig};
 use tucker_linalg::gemm::{gemm, Transpose};
@@ -250,8 +250,15 @@ pub struct DistHooiResult {
 /// `V` is replicated: with `NoTranspose` it is `K × I_n`, with `Transpose`
 /// it is `I_n × K` (the factor-matrix convention of ST-HOSVD). Each rank
 /// multiplies its block against its owned slice of `op(V)`, the partial
-/// products are sum-reduced across the mode-`n` processor column, and every
-/// rank keeps its block of the new (length-`K`) mode.
+/// products are sum-reduced across the mode-`n` processor column with a
+/// **mode-aware reduce-scatter** — the partial product is re-indexed so each
+/// column member's mode-`n` block is contiguous, and the ring reduce-scatter
+/// delivers to every rank only the fully summed block it owns. Per rank this
+/// moves `(P_n − 1)·Ĵ_n·K/P` words, exactly the β term [`CostModel::ttm`]
+/// charges for Alg. 3 (an all-reduce would move twice that and then discard
+/// all but the owned block).
+///
+/// [`CostModel::ttm`]: tucker_distmem::CostModel::ttm
 pub fn parallel_ttm(
     comm: &Communicator,
     y: &DistTensor,
@@ -294,15 +301,33 @@ pub fn parallel_ttm(
         return DistTensor::from_parts(new_dims, new_ranges, partial);
     }
 
-    // Sum the partial products across the processor column; every member ends
-    // up with the full-K local result, then keeps its own block of the mode.
-    let summed = all_reduce(&col_group, partial.as_slice());
-    let full = DenseTensor::from_vec(partial.dims(), summed);
+    // Re-index the partial product into block-major order along mode n: the
+    // slab owned by column member q (mode-n indices `block_range(k, P_n, q)`)
+    // becomes one contiguous chunk, flattened in natural order.
+    let pn = col_group.size();
+    let jhat = partial.codim(n);
+    let mut packed = Vec::with_capacity(partial.len());
+    let mut counts = Vec::with_capacity(pn);
+    let mut block_ranges: Vec<(usize, usize)> =
+        partial.dims().iter().map(|&d| (0usize, d)).collect();
+    for q in 0..pn {
+        let (qoff, qlen) = ProcGrid::block_range(k, pn, q);
+        counts.push(qlen * jhat);
+        if qlen > 0 {
+            block_ranges[n] = (qoff, qlen);
+            let block = extract_subtensor(&partial, &spec_from_ranges(&block_ranges));
+            packed.extend_from_slice(block.as_slice());
+        }
+    }
+
+    // Mode-aware reduce-scatter: each member receives exactly its own fully
+    // summed block, already flattened in the natural order of the local tensor.
+    let mine = reduce_scatter_blocks(&col_group, &packed, &counts);
 
     let (ks, kl) = comm.grid().local_range(comm.rank(), n, k);
-    let mut block_ranges: Vec<(usize, usize)> = full.dims().iter().map(|&d| (0usize, d)).collect();
-    block_ranges[n] = (ks, kl);
-    let local = extract_subtensor(&full, &spec_from_ranges(&block_ranges));
+    let mut local_dims = partial.dims().to_vec();
+    local_dims[n] = kl;
+    let local = DenseTensor::from_vec(&local_dims, mine);
 
     let mut new_ranges = y.ranges().to_vec();
     new_ranges[n] = (ks, kl);

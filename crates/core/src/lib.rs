@@ -54,7 +54,7 @@ pub use error::{compression_ratio, error_bound, mode_wise_error_curves, ModeErro
 pub use hooi::{hooi, HooiOptions, HooiResult};
 pub use ordering::ModeOrder;
 pub use rank::{select_rank_by_threshold, RankSelection};
-pub use reconstruct::{reconstruct_full, reconstruct_subtensor};
+pub use reconstruct::{reconstruct_element, reconstruct_full, reconstruct_subtensor};
 pub use sthosvd::{st_hosvd, SthosvdOptions, SthosvdResult};
 pub use thosvd::{t_hosvd, ThosvdResult};
 pub use tucker::TuckerTensor;
@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::hooi::{hooi, HooiOptions, HooiResult};
     pub use crate::ordering::ModeOrder;
     pub use crate::rank::RankSelection;
-    pub use crate::reconstruct::{reconstruct_full, reconstruct_subtensor};
+    pub use crate::reconstruct::{reconstruct_element, reconstruct_full, reconstruct_subtensor};
     pub use crate::sthosvd::{st_hosvd, SthosvdOptions, SthosvdResult};
     pub use crate::thosvd::t_hosvd;
     pub use crate::tucker::TuckerTensor;

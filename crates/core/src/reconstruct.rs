@@ -47,6 +47,47 @@ pub fn reconstruct_slice(t: &TuckerTensor, mode: usize, idx: usize) -> DenseTens
     reconstruct_subtensor(t, &spec)
 }
 
+/// Reconstructs a single element `X̃[idx]` by contracting the core against one
+/// row of every factor matrix:
+/// `X̃[i₁,…,i_N] = Σ_{r₁,…,r_N} G[r₁,…,r_N] · ∏_n U⁽ⁿ⁾[i_n, r_n]`.
+///
+/// Cost is `O(N · ∏ R_n)` — it never touches the original dimensions, which is
+/// what makes random-access queries against a compressed artifact cheap
+/// (Sec. II-C of the paper; the `tucker-store` query engine is built on this).
+pub fn reconstruct_element(t: &TuckerTensor, idx: &[usize]) -> f64 {
+    assert_eq!(
+        idx.len(),
+        t.ndims(),
+        "reconstruct_element: index must cover every mode"
+    );
+    for (n, (&i, u)) in idx.iter().zip(t.factors.iter()).enumerate() {
+        assert!(
+            i < u.rows(),
+            "reconstruct_element: index {i} out of range in mode {n} (dim {})",
+            u.rows()
+        );
+    }
+    let ranks = t.ranks();
+    let mut r_idx = vec![0usize; ranks.len()];
+    let mut acc = 0.0;
+    for &g in t.core.as_slice() {
+        let mut w = g;
+        for (n, &r) in r_idx.iter().enumerate() {
+            w *= t.factors[n].get(idx[n], r);
+        }
+        acc += w;
+        // Advance the core multi-index, first mode fastest (storage order).
+        for (k, i) in r_idx.iter_mut().enumerate() {
+            *i += 1;
+            if *i < ranks[k] {
+                break;
+            }
+            *i = 0;
+        }
+    }
+    acc
+}
+
 /// Reconstructs a coarsened view: every `stride`-th index in the given modes,
 /// all indices elsewhere. `stride` must be at least 1.
 pub fn reconstruct_coarse(t: &TuckerTensor, coarse_modes: &[usize], stride: usize) -> DenseTensor {
@@ -139,6 +180,29 @@ mod tests {
         let exact = extract_subtensor(&x, &spec);
         let err = tucker_tensor::relative_error(&exact, &approx);
         assert!(err < 1e-2, "partial reconstruction error too large: {err}");
+    }
+
+    #[test]
+    fn element_matches_full_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(105);
+        let (_, t) = compressed_random(&mut rng, &[9, 7, 8], 1e-6);
+        let full = reconstruct_full(&t);
+        for idx in [[0usize, 0, 0], [8, 6, 7], [4, 3, 2], [1, 6, 0]] {
+            let e = reconstruct_element(&t, &idx);
+            assert!(
+                (e - full.get(&idx)).abs() < 1e-10,
+                "element {idx:?}: {e} vs {}",
+                full.get(&idx)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn element_index_out_of_range_panics() {
+        let mut rng = StdRng::seed_from_u64(106);
+        let (_, t) = compressed_random(&mut rng, &[5, 5, 5], 1e-3);
+        reconstruct_element(&t, &[5, 0, 0]);
     }
 
     #[test]

@@ -170,12 +170,50 @@ fn all_gather_lengths(group: &SubCommunicator<'_>, len: usize) -> Vec<usize> {
 /// buffers is computed, and member `i` returns the `i`-th near-equal contiguous
 /// chunk of the sum.
 pub fn reduce_scatter(group: &SubCommunicator<'_>, data: &[f64]) -> Vec<f64> {
+    let p = group.size();
+    let counts: Vec<usize> = (0..p).map(|i| chunk_range(data.len(), p, i).1).collect();
+    reduce_scatter_blocks(group, data, &counts)
+}
+
+/// Ring reduce-scatter with caller-specified chunk boundaries: the elementwise
+/// sum of all members' equal-length buffers is computed, and member `i`
+/// returns the contiguous chunk of `counts[i]` elements starting at
+/// `counts[..i].sum()`. This is the "mode-aware" variant used by the parallel
+/// TTM (Alg. 3), where the chunks are the mode-`n` tensor blocks owned by each
+/// member of a processor column and therefore not near-equal in general.
+///
+/// # Panics
+/// Panics if `counts.len() != group.size()` or the counts do not sum to
+/// `data.len()`.
+pub fn reduce_scatter_blocks(
+    group: &SubCommunicator<'_>,
+    data: &[f64],
+    counts: &[usize],
+) -> Vec<f64> {
     group.note_collective();
     let p = group.size();
+    assert_eq!(
+        counts.len(),
+        p,
+        "reduce_scatter_blocks: need one chunk size per member"
+    );
+    let total: usize = counts.iter().sum();
+    assert_eq!(
+        total,
+        data.len(),
+        "reduce_scatter_blocks: chunk sizes must cover the buffer"
+    );
     if p == 1 {
         return data.to_vec();
     }
-    let total = data.len();
+    let offsets: Vec<usize> = counts
+        .iter()
+        .scan(0usize, |acc, &c| {
+            let o = *acc;
+            *acc += c;
+            Some(o)
+        })
+        .collect();
     let me = group.pos();
     let right = (me + 1) % p;
     let left = (me + p - 1) % p;
@@ -190,17 +228,20 @@ pub fn reduce_scatter(group: &SubCommunicator<'_>, data: &[f64]) -> Vec<f64> {
     for s in 0..p - 1 {
         let send_idx = (me + 2 * p - s - 1) % p;
         let recv_idx = (me + 2 * p - s - 2) % p;
-        let (soff, slen) = chunk_range(total, p, send_idx);
+        let (soff, slen) = (offsets[send_idx], counts[send_idx]);
         let send_chunk = work[soff..soff + slen].to_vec();
         let received = group.sendrecv(right, &send_chunk, left);
-        let (roff, rlen) = chunk_range(total, p, recv_idx);
-        assert_eq!(received.len(), rlen, "reduce_scatter: length mismatch");
+        let (roff, rlen) = (offsets[recv_idx], counts[recv_idx]);
+        assert_eq!(
+            received.len(),
+            rlen,
+            "reduce_scatter_blocks: length mismatch"
+        );
         for (w, r) in work[roff..roff + rlen].iter_mut().zip(received.iter()) {
             *w += r;
         }
     }
-    let (off, len) = chunk_range(total, p, me);
-    work[off..off + len].to_vec()
+    work[offsets[me]..offsets[me] + counts[me]].to_vec()
 }
 
 /// All-reduce (elementwise sum): every member returns the full sum.
@@ -391,6 +432,26 @@ mod tests {
             for (i, &v) in reassembled.iter().enumerate() {
                 assert!((v - i as f64 * sum_factor).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_blocks_uneven_chunks() {
+        // Chunk sizes 0, 5, 1, 7 (including an empty chunk) over 4 members.
+        let counts = [0usize, 5, 1, 7];
+        let total: usize = counts.iter().sum();
+        let results = with_group(4, |g| {
+            let data: Vec<f64> = (0..total).map(|i| (i * (g.pos() + 1)) as f64).collect();
+            reduce_scatter_blocks(g, &data, &counts)
+        });
+        let sum_factor = (4 * 5 / 2) as f64;
+        let mut reassembled = Vec::new();
+        for (pos, r) in results.iter().enumerate() {
+            assert_eq!(r.len(), counts[pos]);
+            reassembled.extend(r.iter().copied());
+        }
+        for (i, &v) in reassembled.iter().enumerate() {
+            assert!((v - i as f64 * sum_factor).abs() < 1e-9);
         }
     }
 

@@ -1,0 +1,233 @@
+//! Value codecs for `.tkr` payload blocks.
+//!
+//! The Tucker model is already the big compression win (the paper's Tab. II
+//! ratios); the codec layer stacks a further 2–4× on top by storing the
+//! factor matrices and core in less than full double precision:
+//!
+//! * [`Codec::F64`] — lossless: raw little-endian `f64` (8 bytes/value).
+//! * [`Codec::F32`] — round to single precision (4 bytes/value, relative
+//!   error ~1e-7 per value).
+//! * [`Codec::Q16`] — scaled 16-bit integers (2 bytes/value + one `f64`
+//!   scale per block, relative error ~3e-5 of the block's max magnitude).
+//!
+//! A **block** is one factor-matrix column or one core chunk; quantized
+//!   blocks carry their own scale factor, so a column with small entries is
+//!   not crushed by a large one elsewhere. Every encode reports the exact
+//!   squared error it introduced, which the writer accumulates into the
+//!   artifact's quantization-error bound (checked against the ε budget).
+
+use std::io::{self, Read, Write};
+
+/// Scale such that the largest magnitude maps to the largest `i16`.
+const Q16_MAX: f64 = i16::MAX as f64;
+
+/// How the `f64` values of a payload block are encoded on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Raw little-endian `f64` — bit-exact round trip.
+    F64,
+    /// Little-endian `f32` — halves storage at ~1e-7 relative error.
+    F32,
+    /// Scaled `i16` with one `f64` scale per block — quarters storage at
+    /// ~3e-5 relative error of the block's max magnitude.
+    Q16,
+}
+
+impl Codec {
+    /// All codecs, for sweeps and tests.
+    pub fn all() -> [Codec; 3] {
+        [Codec::F64, Codec::F32, Codec::Q16]
+    }
+
+    /// Stable on-disk identifier.
+    pub fn id(&self) -> u8 {
+        match self {
+            Codec::F64 => 0,
+            Codec::F32 => 1,
+            Codec::Q16 => 2,
+        }
+    }
+
+    /// Inverse of [`Codec::id`].
+    pub fn from_id(id: u8) -> io::Result<Codec> {
+        match id {
+            0 => Ok(Codec::F64),
+            1 => Ok(Codec::F32),
+            2 => Ok(Codec::Q16),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown codec id {id}"),
+            )),
+        }
+    }
+
+    /// Display name (for tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Codec::F64 => "f64",
+            Codec::F32 => "f32",
+            Codec::Q16 => "q16",
+        }
+    }
+
+    /// Payload bytes per value (excluding the per-block scale of `Q16`).
+    pub fn bytes_per_value(&self) -> usize {
+        match self {
+            Codec::F64 => 8,
+            Codec::F32 => 4,
+            Codec::Q16 => 2,
+        }
+    }
+
+    /// Encodes one block of values, returning the squared error introduced.
+    ///
+    /// The on-disk layout is `[scale: f64]` (Q16 only) followed by the packed
+    /// values; the caller is responsible for recording the block length.
+    pub fn encode_block(&self, w: &mut impl Write, values: &[f64]) -> io::Result<f64> {
+        let mut sq_err = 0.0;
+        match self {
+            Codec::F64 => {
+                for &v in values {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+            Codec::F32 => {
+                for &v in values {
+                    let q = v as f32;
+                    sq_err += (v - q as f64) * (v - q as f64);
+                    w.write_all(&q.to_le_bytes())?;
+                }
+            }
+            Codec::Q16 => {
+                let max_abs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+                let scale = if max_abs > 0.0 {
+                    max_abs / Q16_MAX
+                } else {
+                    0.0
+                };
+                w.write_all(&scale.to_le_bytes())?;
+                for &v in values {
+                    let q = if scale > 0.0 {
+                        (v / scale).round().clamp(-Q16_MAX, Q16_MAX) as i16
+                    } else {
+                        0
+                    };
+                    let back = q as f64 * scale;
+                    sq_err += (v - back) * (v - back);
+                    w.write_all(&q.to_le_bytes())?;
+                }
+            }
+        }
+        Ok(sq_err)
+    }
+
+    /// Decodes a block of `len` values previously written by
+    /// [`Codec::encode_block`].
+    pub fn decode_block(&self, r: &mut impl Read, len: usize) -> io::Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(len);
+        match self {
+            Codec::F64 => {
+                let mut buf = [0u8; 8];
+                for _ in 0..len {
+                    r.read_exact(&mut buf)?;
+                    out.push(f64::from_le_bytes(buf));
+                }
+            }
+            Codec::F32 => {
+                let mut buf = [0u8; 4];
+                for _ in 0..len {
+                    r.read_exact(&mut buf)?;
+                    out.push(f32::from_le_bytes(buf) as f64);
+                }
+            }
+            Codec::Q16 => {
+                let mut sbuf = [0u8; 8];
+                r.read_exact(&mut sbuf)?;
+                let scale = f64::from_le_bytes(sbuf);
+                let mut buf = [0u8; 2];
+                for _ in 0..len {
+                    r.read_exact(&mut buf)?;
+                    out.push(i16::from_le_bytes(buf) as f64 * scale);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// On-disk payload size of a block of `len` values.
+    pub fn block_bytes(&self, len: usize) -> usize {
+        let scale = if *self == Codec::Q16 { 8 } else { 0 };
+        scale + len * self.bytes_per_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(codec: Codec, values: &[f64]) -> (Vec<f64>, f64) {
+        let mut buf = Vec::new();
+        let sq_err = codec.encode_block(&mut buf, values).unwrap();
+        assert_eq!(buf.len(), codec.block_bytes(values.len()));
+        let decoded = codec
+            .decode_block(&mut io::Cursor::new(buf), values.len())
+            .unwrap();
+        (decoded, sq_err)
+    }
+
+    #[test]
+    fn f64_is_bit_exact() {
+        let values = [1.0, -2.5, 1e-300, f64::MIN_POSITIVE, 0.0, 3.14159];
+        let (decoded, sq_err) = round_trip(Codec::F64, &values);
+        assert_eq!(decoded, values);
+        assert_eq!(sq_err, 0.0);
+    }
+
+    #[test]
+    fn f32_error_is_single_precision() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let (decoded, sq_err) = round_trip(Codec::F32, &values);
+        let actual: f64 = values
+            .iter()
+            .zip(&decoded)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        assert!((sq_err - actual).abs() < 1e-30);
+        for (a, b) in values.iter().zip(&decoded) {
+            assert!((a - b).abs() <= 1e-7 * a.abs().max(1e-30));
+        }
+    }
+
+    #[test]
+    fn q16_error_is_bounded_by_half_step() {
+        let values: Vec<f64> = (0..257).map(|i| (i as f64 * 0.11).cos() * 5.0).collect();
+        let (decoded, sq_err) = round_trip(Codec::Q16, &values);
+        let max_abs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let step = max_abs / i16::MAX as f64;
+        let actual: f64 = values
+            .iter()
+            .zip(&decoded)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        assert!((sq_err - actual).abs() < 1e-20);
+        for (a, b) in values.iter().zip(&decoded) {
+            assert!((a - b).abs() <= 0.5 * step + 1e-12);
+        }
+    }
+
+    #[test]
+    fn q16_zero_block() {
+        let values = [0.0; 10];
+        let (decoded, sq_err) = round_trip(Codec::Q16, &values);
+        assert_eq!(decoded, values);
+        assert_eq!(sq_err, 0.0);
+    }
+
+    #[test]
+    fn codec_ids_round_trip() {
+        for c in Codec::all() {
+            assert_eq!(Codec::from_id(c.id()).unwrap(), c);
+        }
+        assert!(Codec::from_id(42).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Opening `.tkr` artifacts and serving partial-reconstruction queries.
+//!
+//! [`TkrArtifact::open`] parses the header, decodes the factor and core
+//! blocks, and validates completeness. Queries then never touch the original
+//! data size: [`TkrArtifact::reconstruct_range`] /
+//! [`TkrArtifact::reconstruct_subtensor`] contract the core against **row
+//! subsets** of the factors (cost scales with the requested window),
+//! [`TkrArtifact::reconstruct_slice`] pulls one plane (one species, one
+//! timestep), and [`TkrArtifact::element`] evaluates a single entry in
+//! `O(N·∏R_n)` — the laptop-scale analysis workflow the paper motivates in
+//! Secs. II-C and VII.
+
+use crate::format::{invalid, read_u32, read_u64, TkrHeader, TAG_CORE_CHUNK, TAG_END, TAG_FACTOR};
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::path::Path;
+use tucker_core::reconstruct::{reconstruct_element, reconstruct_slice, reconstruct_subtensor};
+use tucker_core::TuckerTensor;
+use tucker_linalg::Matrix;
+use tucker_tensor::{DenseTensor, SubtensorSpec};
+
+/// An opened `.tkr` artifact: parsed header plus the decoded decomposition.
+#[derive(Debug, Clone)]
+pub struct TkrArtifact {
+    header: TkrHeader,
+    tucker: TuckerTensor,
+    file_bytes: u64,
+}
+
+impl TkrArtifact {
+    /// Opens and fully validates an artifact.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<TkrArtifact> {
+        let file = File::open(&path)?;
+        let file_bytes = file.metadata()?.len();
+        let mut r = BufReader::new(file);
+        let header = TkrHeader::read_from(&mut r)?;
+        let ndims = header.ndims();
+        let codec = header.codec;
+
+        // A block's payload can never hold more values than the file has
+        // bytes per value, so bound every declared allocation by the file
+        // size — a corrupt header must fail here, not abort on OOM.
+        let max_vals = (file_bytes / codec.bytes_per_value() as u64) as usize;
+        let core_total: usize = header
+            .ranks
+            .iter()
+            .try_fold(1usize, |acc, &r| acc.checked_mul(r))
+            .filter(|&c| c <= max_vals)
+            .ok_or_else(|| invalid("declared core is larger than the file itself"))?;
+        for (n, (&d, &rk)) in header.dims.iter().zip(header.ranks.iter()).enumerate() {
+            if d.checked_mul(rk).is_none_or(|v| v > max_vals) {
+                return Err(invalid(&format!(
+                    "declared factor {n} is larger than the file itself"
+                )));
+            }
+        }
+
+        let mut factors: Vec<Option<Matrix>> = vec![None; ndims];
+        let mut core_data = vec![0.0f64; core_total];
+        let mut core_filled = 0usize;
+        let mut saw_end = false;
+
+        while !saw_end {
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    invalid("truncated artifact: missing end marker")
+                } else {
+                    e
+                }
+            })?;
+            match tag[0] {
+                TAG_FACTOR => {
+                    let mode = read_u32(&mut r)? as usize;
+                    let rows = read_u64(&mut r)? as usize;
+                    let cols = read_u64(&mut r)? as usize;
+                    if mode >= ndims {
+                        return Err(invalid(&format!("factor block for mode {mode} of {ndims}")));
+                    }
+                    if factors[mode].is_some() {
+                        return Err(invalid(&format!("duplicate factor block for mode {mode}")));
+                    }
+                    if rows != header.dims[mode] || cols != header.ranks[mode] {
+                        return Err(invalid(&format!(
+                            "factor {mode} is {rows}×{cols}, header says {}×{}",
+                            header.dims[mode], header.ranks[mode]
+                        )));
+                    }
+                    let mut u = Matrix::zeros(rows, cols);
+                    for j in 0..cols {
+                        let col = codec.decode_block(&mut r, rows)?;
+                        for (i, &v) in col.iter().enumerate() {
+                            u.set(i, j, v);
+                        }
+                    }
+                    factors[mode] = Some(u);
+                }
+                TAG_CORE_CHUNK => {
+                    let start = read_u64(&mut r)? as usize;
+                    let len = read_u64(&mut r)? as usize;
+                    if start != core_filled {
+                        return Err(invalid(&format!(
+                            "core chunk at {start}, expected next offset {core_filled}"
+                        )));
+                    }
+                    // Overflow-safe: start == core_filled <= core_total here.
+                    if len > core_total - start {
+                        return Err(invalid("core chunk overruns the core"));
+                    }
+                    let values = codec.decode_block(&mut r, len)?;
+                    core_data[start..start + len].copy_from_slice(&values);
+                    core_filled += len;
+                }
+                TAG_END => {
+                    let declared = read_u64(&mut r)? as usize;
+                    if declared != core_total {
+                        return Err(invalid(&format!(
+                            "end marker declares {declared} core elements, header implies {core_total}"
+                        )));
+                    }
+                    saw_end = true;
+                }
+                t => return Err(invalid(&format!("unknown block tag {t:#x}"))),
+            }
+        }
+        if core_filled != core_total {
+            return Err(invalid(&format!(
+                "core incomplete: {core_filled} of {core_total} elements"
+            )));
+        }
+        let factors: Vec<Matrix> = factors
+            .into_iter()
+            .enumerate()
+            .map(|(n, f)| f.ok_or_else(|| invalid(&format!("missing factor block for mode {n}"))))
+            .collect::<io::Result<_>>()?;
+        let core = DenseTensor::from_vec(&header.ranks, core_data);
+        Ok(TkrArtifact {
+            tucker: TuckerTensor::new(core, factors),
+            header,
+            file_bytes,
+        })
+    }
+
+    /// The parsed header (shape, ranks, ε, codec, quantization bound,
+    /// metadata).
+    pub fn header(&self) -> &TkrHeader {
+        &self.header
+    }
+
+    /// The decoded decomposition.
+    pub fn tucker(&self) -> &TuckerTensor {
+        &self.tucker
+    }
+
+    /// Consumes the artifact, returning the decomposition.
+    pub fn into_tucker(self) -> TuckerTensor {
+        self.tucker
+    }
+
+    /// Total declared relative error budget: decomposition ε plus the codec's
+    /// quantization bound.
+    pub fn error_budget(&self) -> f64 {
+        self.header.error_budget()
+    }
+
+    /// Physical compression ratio: original field as raw `f64` bytes over the
+    /// artifact's file size.
+    pub fn compression_ratio(&self) -> f64 {
+        let original = 8.0 * self.header.dims.iter().map(|&d| d as f64).product::<f64>();
+        original / self.file_bytes as f64
+    }
+
+    /// The artifact's size on disk in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Reconstructs the full field (only sensible when it fits in memory).
+    pub fn reconstruct(&self) -> DenseTensor {
+        self.tucker.reconstruct()
+    }
+
+    /// Reconstructs the window given by per-mode `(start, len)` ranges without
+    /// materializing anything outside it.
+    pub fn reconstruct_range(&self, ranges: &[(usize, usize)]) -> DenseTensor {
+        assert_eq!(
+            ranges.len(),
+            self.header.ndims(),
+            "reconstruct_range: one (start, len) range per mode"
+        );
+        self.reconstruct_subtensor(&SubtensorSpec::from_ranges(ranges))
+    }
+
+    /// Reconstructs an arbitrary (possibly non-contiguous) subtensor.
+    pub fn reconstruct_subtensor(&self, spec: &SubtensorSpec) -> DenseTensor {
+        reconstruct_subtensor(&self.tucker, spec)
+    }
+
+    /// Reconstructs the single mode-`mode` slice at `idx` (one species, one
+    /// timestep, one grid plane).
+    pub fn reconstruct_slice(&self, mode: usize, idx: usize) -> DenseTensor {
+        reconstruct_slice(&self.tucker, mode, idx)
+    }
+
+    /// Evaluates one element in `O(N·∏R_n)`.
+    pub fn element(&self, idx: &[usize]) -> f64 {
+        reconstruct_element(&self.tucker, idx)
+    }
+}

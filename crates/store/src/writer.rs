@@ -1,0 +1,312 @@
+//! Streaming `.tkr` writer and the distributed gather-and-write path.
+//!
+//! [`TkrWriter`] is deliberately incremental: the header goes out first, then
+//! factor blocks, then the core **chunk by chunk** (whole last-mode slabs, e.g.
+//! one timestep at a time), then an end marker. Nothing requires the whole
+//! core in memory at once, so a decomposition whose core is produced
+//! timestep-by-timestep — or gathered piecewise from a distributed run — can
+//! be serialized as it arrives. [`write_tucker`] is the convenience wrapper
+//! for an in-memory [`TuckerTensor`]; [`gather_and_write`] funnels a
+//! [`DistTucker`] from any processor grid into the same byte-identical
+//! format.
+//!
+//! The writer tracks the exact squared error every quantized block
+//! introduces and patches a first-order **relative reconstruction error
+//! bound** into the header at [`TkrWriter::finish`]:
+//!
+//! ```text
+//! ‖ΔX̃‖/‖X̃‖ ≲ ‖ΔG‖_F/‖G‖_F + Σ_n ‖ΔU⁽ⁿ⁾‖_F
+//! ```
+//!
+//! (factors have orthonormal columns, so ‖X̃‖ = ‖G‖ and a factor
+//! perturbation passes through the core at full strength). Callers check
+//! `eps + quant_error_bound` against their error budget before shipping the
+//! artifact.
+
+use crate::codec::Codec;
+use crate::format::{
+    write_u32, write_u64, TkrHeader, TkrMetadata, QUANT_BOUND_OFFSET, TAG_CORE_CHUNK, TAG_END,
+    TAG_FACTOR,
+};
+use std::fs::File;
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+use tucker_core::dist::DistTucker;
+use tucker_core::TuckerTensor;
+use tucker_distmem::Communicator;
+use tucker_linalg::Matrix;
+
+/// Target elements per core chunk used by [`write_tucker`] (whole slabs are
+/// never split, so actual chunks may be larger when one slab exceeds this).
+const CHUNK_TARGET_ELEMS: usize = 1 << 16;
+
+/// Encoding options for writing an artifact.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Value codec for factor and core blocks.
+    pub codec: Codec,
+    /// The ε the decomposition was computed with (recorded in the header so
+    /// readers can report the total error budget).
+    pub eps: f64,
+    /// Provenance metadata.
+    pub meta: TkrMetadata,
+}
+
+impl StoreOptions {
+    /// Options with the given codec and ε and empty metadata.
+    pub fn new(codec: Codec, eps: f64) -> Self {
+        StoreOptions {
+            codec,
+            eps,
+            meta: TkrMetadata::default(),
+        }
+    }
+
+    /// Attaches metadata.
+    pub fn with_meta(mut self, meta: TkrMetadata) -> Self {
+        self.meta = meta;
+        self
+    }
+}
+
+/// What an encode produced: sizes and the error the codec introduced.
+#[derive(Debug, Clone)]
+pub struct EncodeReport {
+    /// Total bytes written (header + blocks + end marker).
+    pub bytes: u64,
+    /// Number of stored values (core + factors), the paper's compression-ratio
+    /// denominator.
+    pub stored_values: usize,
+    /// First-order relative reconstruction error added by the codec.
+    pub quant_error_bound: f64,
+    /// `‖ΔU⁽ⁿ⁾‖_F` per mode.
+    pub factor_errors: Vec<f64>,
+    /// `‖ΔG‖_F`.
+    pub core_error: f64,
+}
+
+impl EncodeReport {
+    /// Physical compression ratio versus the original field stored as raw
+    /// `f64`: `8·∏I_n / bytes`.
+    pub fn compression_ratio(&self, original_dims: &[usize]) -> f64 {
+        let original_bytes = 8.0 * original_dims.iter().map(|&d| d as f64).product::<f64>();
+        original_bytes / self.bytes as f64
+    }
+}
+
+/// Incremental writer for one `.tkr` artifact.
+pub struct TkrWriter<W: Write + Seek> {
+    w: W,
+    /// Stream position of the header's first byte (0 for a fresh file).
+    base: u64,
+    header: TkrHeader,
+    factor_written: Vec<bool>,
+    factor_errors: Vec<f64>,
+    core_sq_err: f64,
+    core_norm_sq: f64,
+    core_elems_written: usize,
+    core_total: usize,
+    slab_stride: usize,
+    bytes: u64,
+}
+
+impl TkrWriter<BufWriter<File>> {
+    /// Creates the file and writes the header (with a zero quantization bound,
+    /// patched at [`TkrWriter::finish`]).
+    pub fn create(path: impl AsRef<Path>, header: TkrHeader) -> io::Result<Self> {
+        let file = File::create(path)?;
+        TkrWriter::new(BufWriter::new(file), header)
+    }
+}
+
+impl<W: Write + Seek> TkrWriter<W> {
+    /// Wraps an arbitrary seekable sink and writes the header at the sink's
+    /// **current** position (so a `.tkr` section can be embedded into a
+    /// larger container; the finish-time patch is relative to that base).
+    pub fn new(mut w: W, mut header: TkrHeader) -> io::Result<Self> {
+        let base = w.stream_position()?;
+        header.quant_error_bound = 0.0;
+        let mut head = Vec::new();
+        header.write_to(&mut head)?;
+        w.write_all(&head)?;
+        let ndims = header.ndims();
+        let core_total: usize = header.ranks.iter().product();
+        let slab_stride: usize = header.ranks[..ndims - 1].iter().product::<usize>().max(1);
+        Ok(TkrWriter {
+            w,
+            base,
+            header,
+            factor_written: vec![false; ndims],
+            factor_errors: vec![0.0; ndims],
+            core_sq_err: 0.0,
+            core_norm_sq: 0.0,
+            core_elems_written: 0,
+            core_total,
+            slab_stride,
+            bytes: head.len() as u64,
+        })
+    }
+
+    /// Writes the factor matrix of `mode` (`I_n × R_n`), one codec block per
+    /// column so quantization scales adapt per column.
+    ///
+    /// # Panics
+    /// Panics if the mode was already written or the shape disagrees with the
+    /// header.
+    pub fn write_factor(&mut self, mode: usize, u: &Matrix) -> io::Result<()> {
+        assert!(
+            mode < self.header.ndims(),
+            "write_factor: mode out of range"
+        );
+        assert!(
+            !self.factor_written[mode],
+            "write_factor: mode {mode} written twice"
+        );
+        assert_eq!(
+            (u.rows(), u.cols()),
+            (self.header.dims[mode], self.header.ranks[mode]),
+            "write_factor: factor shape disagrees with header for mode {mode}"
+        );
+        let mut block = Vec::new();
+        block.push(TAG_FACTOR);
+        write_u32(&mut block, mode as u32)?;
+        write_u64(&mut block, u.rows() as u64)?;
+        write_u64(&mut block, u.cols() as u64)?;
+        let mut sq_err = 0.0;
+        for j in 0..u.cols() {
+            sq_err += self.header.codec.encode_block(&mut block, &u.col(j))?;
+        }
+        self.w.write_all(&block)?;
+        self.bytes += block.len() as u64;
+        self.factor_errors[mode] = sq_err.sqrt();
+        self.factor_written[mode] = true;
+        Ok(())
+    }
+
+    /// Appends the next run of whole last-mode core slabs (natural order).
+    /// Chunks must arrive in order and cover the core exactly by
+    /// [`TkrWriter::finish`] time.
+    ///
+    /// # Panics
+    /// Panics if the chunk is not a positive multiple of the slab stride or
+    /// overruns the core.
+    pub fn write_core_chunk(&mut self, slab: &[f64]) -> io::Result<()> {
+        assert!(
+            !slab.is_empty() && slab.len() % self.slab_stride == 0,
+            "write_core_chunk: chunk of {} elements is not a whole number of last-mode slabs (stride {})",
+            slab.len(),
+            self.slab_stride
+        );
+        assert!(
+            self.core_elems_written + slab.len() <= self.core_total,
+            "write_core_chunk: overruns the {}-element core",
+            self.core_total
+        );
+        let mut block = Vec::new();
+        block.push(TAG_CORE_CHUNK);
+        write_u64(&mut block, self.core_elems_written as u64)?;
+        write_u64(&mut block, slab.len() as u64)?;
+        self.core_sq_err += self.header.codec.encode_block(&mut block, slab)?;
+        self.w.write_all(&block)?;
+        self.bytes += block.len() as u64;
+        self.core_norm_sq += slab.iter().map(|&v| v * v).sum::<f64>();
+        self.core_elems_written += slab.len();
+        Ok(())
+    }
+
+    /// Writes the end marker, patches the quantization-error bound into the
+    /// header, flushes, and reports what was encoded.
+    ///
+    /// # Panics
+    /// Panics if a factor is missing or the core is incomplete.
+    pub fn finish(mut self) -> io::Result<EncodeReport> {
+        for (n, &written) in self.factor_written.iter().enumerate() {
+            assert!(written, "finish: factor for mode {n} was never written");
+        }
+        assert_eq!(
+            self.core_elems_written, self.core_total,
+            "finish: core incomplete ({} of {} elements)",
+            self.core_elems_written, self.core_total
+        );
+        let mut end = Vec::new();
+        end.push(TAG_END);
+        write_u64(&mut end, self.core_total as u64)?;
+        self.w.write_all(&end)?;
+        self.bytes += end.len() as u64;
+
+        let core_norm = self.core_norm_sq.sqrt();
+        let core_error = self.core_sq_err.sqrt();
+        let quant_error_bound = if core_norm > 0.0 {
+            core_error / core_norm + self.factor_errors.iter().sum::<f64>()
+        } else {
+            0.0
+        };
+        self.w
+            .seek(SeekFrom::Start(self.base + QUANT_BOUND_OFFSET))?;
+        self.w.write_all(&quant_error_bound.to_le_bytes())?;
+        self.w.flush()?;
+
+        let stored_values = self.core_total
+            + self
+                .header
+                .dims
+                .iter()
+                .zip(self.header.ranks.iter())
+                .map(|(&d, &r)| d * r)
+                .sum::<usize>();
+        Ok(EncodeReport {
+            bytes: self.bytes,
+            stored_values,
+            quant_error_bound,
+            factor_errors: self.factor_errors,
+            core_error,
+        })
+    }
+}
+
+/// Writes an in-memory Tucker decomposition to `path`, streaming the core in
+/// bounded chunks of whole last-mode slabs.
+pub fn write_tucker(
+    path: impl AsRef<Path>,
+    t: &TuckerTensor,
+    opts: &StoreOptions,
+) -> io::Result<EncodeReport> {
+    let header = TkrHeader {
+        dims: t.original_dims(),
+        ranks: t.ranks(),
+        eps: opts.eps,
+        codec: opts.codec,
+        quant_error_bound: 0.0,
+        meta: opts.meta.clone(),
+    };
+    let mut w = TkrWriter::create(path, header)?;
+    for (n, u) in t.factors.iter().enumerate() {
+        w.write_factor(n, u)?;
+    }
+    let stride = t.core.last_mode_stride().max(1);
+    let last = *t.core.dims().last().expect("core has at least one mode");
+    let slabs_per_chunk = (CHUNK_TARGET_ELEMS / stride).max(1);
+    let mut s = 0;
+    while s < last {
+        let len = slabs_per_chunk.min(last - s);
+        w.write_core_chunk(t.core.last_mode_slab(s, len))?;
+        s += len;
+    }
+    w.finish()
+}
+
+/// Distributed export (the paper's Sec. VI output step): gathers the
+/// block-distributed core of a [`DistTucker`] onto rank 0 and writes the same
+/// `.tkr` artifact a sequential run would produce. Every rank must call this;
+/// rank 0 returns the report, all others `Ok(None)`.
+pub fn gather_and_write(
+    comm: &Communicator,
+    t: &DistTucker,
+    path: impl AsRef<Path>,
+    opts: &StoreOptions,
+) -> io::Result<Option<EncodeReport>> {
+    match t.gather_to_root(comm) {
+        Some(tucker) => write_tucker(path, &tucker, opts).map(Some),
+        None => Ok(None),
+    }
+}

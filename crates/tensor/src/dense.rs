@@ -122,6 +122,31 @@ impl DenseTensor {
         self.data
     }
 
+    /// Number of elements in one slab of the **last** mode: `∏_{n<N} I_n`.
+    ///
+    /// Because the layout is first-mode-fastest, the elements with last-mode
+    /// index `t` form one contiguous range of this length — the unit of
+    /// streaming (e.g. one timestep of a time-last field).
+    #[inline]
+    pub fn last_mode_stride(&self) -> usize {
+        self.dims[..self.dims.len() - 1].iter().product()
+    }
+
+    /// Borrows the contiguous slab covering last-mode indices
+    /// `[start, start + len)` — zero-copy, in natural order.
+    ///
+    /// # Panics
+    /// Panics if `start + len` exceeds the last dimension.
+    pub fn last_mode_slab(&self, start: usize, len: usize) -> &[f64] {
+        let last = *self.dims.last().expect("tensor has at least one mode");
+        assert!(
+            start + len <= last,
+            "last_mode_slab: range {start}+{len} exceeds last dim {last}"
+        );
+        let stride = self.last_mode_stride();
+        &self.data[start * stride..(start + len) * stride]
+    }
+
     /// Converts a multi-index to the linear offset in the backing buffer.
     #[inline]
     pub fn offset(&self, index: &[usize]) -> usize {
@@ -247,6 +272,28 @@ mod tests {
     #[should_panic]
     fn empty_dims_panics() {
         DenseTensor::zeros(&[]);
+    }
+
+    #[test]
+    fn last_mode_slabs_are_contiguous_timesteps() {
+        let t = DenseTensor::from_fn(&[3, 2, 4], |idx| idx[2] as f64);
+        assert_eq!(t.last_mode_stride(), 6);
+        // Slab t holds exactly the elements with last-mode index t.
+        for step in 0..4 {
+            let slab = t.last_mode_slab(step, 1);
+            assert_eq!(slab.len(), 6);
+            assert!(slab.iter().all(|&v| v == step as f64));
+        }
+        // A multi-step slab is the concatenation of its steps.
+        let slab = t.last_mode_slab(1, 2);
+        assert_eq!(slab.len(), 12);
+        assert_eq!(slab, &t.as_slice()[6..18]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn last_mode_slab_out_of_range_panics() {
+        DenseTensor::zeros(&[2, 3]).last_mode_slab(2, 2);
     }
 
     #[test]

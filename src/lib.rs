@@ -9,6 +9,8 @@
 //! * [`core`]    — sequential and distributed ST-HOSVD / HOOI / T-HOSVD,
 //!   reconstruction, rank selection, error analysis.
 //! * [`scidata`] — synthetic combustion-surrogate datasets and normalization.
+//! * [`store`]   — the `.tkr` compressed-tensor container, quantized codecs,
+//!   and partial-reconstruction query engine.
 //!
 //! See the repository README for a guided tour and the `examples/` directory
 //! for runnable end-to-end programs.
@@ -17,6 +19,7 @@ pub use tucker_core as core;
 pub use tucker_distmem as distmem;
 pub use tucker_linalg as linalg;
 pub use tucker_scidata as scidata;
+pub use tucker_store as store;
 pub use tucker_tensor as tensor;
 
 /// Commonly used items, re-exported for convenience.
@@ -30,6 +33,9 @@ pub mod prelude {
     };
     pub use tucker_linalg::Matrix;
     pub use tucker_scidata::{DatasetPreset, NoisyLowRank, SpectralDecay};
+    pub use tucker_store::{
+        gather_and_write, write_tucker, Codec, StoreOptions, TkrArtifact, TkrMetadata,
+    };
     pub use tucker_tensor::{normalized_rms_error, DenseTensor, SubtensorSpec, TtmTranspose};
 }
 

@@ -155,6 +155,50 @@ fn communication_volume_tracks_cost_model() {
 }
 
 #[test]
+fn ttm_communication_volume_matches_cost_model() {
+    // The mode-aware reduce-scatter in `parallel_ttm` must move exactly the
+    // β volume `(P_n − 1)·Ĵ_n·K/P` that `CostModel::ttm` (Alg. 3) charges per
+    // rank — not the 2× volume of an all-reduce. Dimensions and grid are
+    // chosen so every block divides evenly and the match is exact.
+    let dims = [16usize, 12, 8];
+    let grid_shape = [2usize, 2, 2];
+    let mode = 0;
+    let k = 8usize;
+    let x = structured_tensor(&dims);
+    let v = Matrix::from_fn(dims[mode], k, |i, j| ((i + 3 * j) as f64 * 0.2).sin());
+
+    let handle = spmd_with_grid_handle(ProcGrid::new(&grid_shape), move |comm| {
+        let dx = DistTensor::from_global(&comm, &x);
+        let _ = parallel_ttm(&comm, &dx, &v, mode, TtmTranspose::Transpose);
+    });
+    let measured = handle.total_stats().words_sent as f64 / handle.stats.len() as f64;
+
+    let model = CostModel::new(ProcGrid::new(&grid_shape), MachineParams::edison_like());
+    let predicted = model.ttm(&dims, mode, k).words;
+    assert!(
+        (measured - predicted).abs() < 1e-9,
+        "measured {measured} words/rank, model predicts {predicted}"
+    );
+
+    // Uneven blocks (P_n does not divide K or I_n): the volume still tracks
+    // the model to within rounding, and stays well below the all-reduce's 2×.
+    let dims = [9usize, 6, 4];
+    let k = 5usize;
+    let x = structured_tensor(&dims);
+    let v = Matrix::from_fn(dims[mode], k, |i, j| ((2 * i + j) as f64 * 0.15).cos());
+    let handle = spmd_with_grid_handle(ProcGrid::new(&grid_shape), move |comm| {
+        let dx = DistTensor::from_global(&comm, &x);
+        let _ = parallel_ttm(&comm, &dx, &v, mode, TtmTranspose::Transpose);
+    });
+    let measured = handle.total_stats().words_sent as f64 / handle.stats.len() as f64;
+    let predicted = model.ttm(&dims, mode, k).words;
+    assert!(
+        measured <= 1.35 * predicted && measured >= 0.65 * predicted,
+        "uneven blocks: measured {measured} words/rank vs predicted {predicted}"
+    );
+}
+
+#[test]
 fn single_rank_distributed_run_is_exactly_sequential() {
     let dims = [9usize, 8, 7];
     let x = structured_tensor(&dims);

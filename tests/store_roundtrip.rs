@@ -1,0 +1,178 @@
+//! Round-trip fidelity of the `tucker-store` subsystem, property-based and on
+//! the paper's surrogate datasets.
+//!
+//! The contract under test (ISSUE 2 acceptance criteria):
+//! * write → read → `reconstruct_subtensor` matches slicing the direct
+//!   reconstruction **bit-identically**, for every codec;
+//! * the quantization error a codec introduces stays within the artifact's
+//!   declared budget (`eps + quant_error_bound`);
+//! * a `Tucker` compressed from the SP surrogate round-trips through `.tkr`
+//!   with relative error ≤ ε, for the lossless and quantized codecs alike,
+//!   and the same holds for `DistTucker` output on a non-trivial grid.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tucker_core::dist::{dist_st_hosvd, DistTensor};
+use tucker_core::prelude::*;
+use tucker_distmem::runtime::spmd_with_grid;
+use tucker_distmem::ProcGrid;
+use tucker_scidata::DatasetPreset;
+use tucker_store::{gather_and_write, write_tucker, Codec, StoreOptions, TkrArtifact, TkrMetadata};
+use tucker_tensor::{extract_subtensor, relative_error, DenseTensor, SubtensorSpec};
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_tkr(tag: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "store_roundtrip_{}_{tag}_{n}.tkr",
+        std::process::id()
+    ))
+}
+
+/// Strategy: a random 3-way tensor with dims in 3..=7 and values in [-1, 1].
+fn arbitrary_tensor() -> impl Strategy<Value = DenseTensor> {
+    prop::collection::vec(3usize..=7, 3..=3).prop_flat_map(|dims| {
+        let len: usize = dims.iter().product();
+        prop::collection::vec(-1.0f64..1.0, len)
+            .prop_map(move |data| DenseTensor::from_vec(&dims, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every codec: the artifact's partial reconstruction is bit-identical
+    /// to slicing its full reconstruction, and the extra error the codec
+    /// introduced stays within the declared quantization bound.
+    #[test]
+    fn write_read_reconstruct_subtensor_matches_direct(x in arbitrary_tensor()) {
+        let eps = 1e-2;
+        let t = st_hosvd(&x, &SthosvdOptions::with_tolerance(eps)).tucker;
+        let direct = t.reconstruct();
+        let spec = SubtensorSpec::from_ranges(
+            &x.dims().iter().map(|&d| (d / 3, (d / 2).max(1))).collect::<Vec<_>>(),
+        );
+        for codec in Codec::all() {
+            let path = temp_tkr(codec.name());
+            let report = write_tucker(&path, &t, &StoreOptions::new(codec, eps)).unwrap();
+            let artifact = TkrArtifact::open(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+
+            // Partial == sliced full reconstruction, bit for bit.
+            let full = artifact.reconstruct();
+            let window = artifact.reconstruct_subtensor(&spec);
+            let expected = extract_subtensor(&full, &spec);
+            prop_assert_eq!(&window, &expected);
+
+            // The codec's extra error obeys the declared first-order bound
+            // (small slack for the higher-order terms the bound drops).
+            let extra = relative_error(&direct, &full);
+            prop_assert!(
+                extra <= 1.05 * report.quant_error_bound + 1e-12,
+                "codec {}: extra error {} exceeds declared bound {}",
+                codec.name(), extra, report.quant_error_bound
+            );
+            // And the total stays within the artifact's declared budget.
+            let total = relative_error(&x, &full);
+            prop_assert!(
+                total <= artifact.error_budget() + 1e-10,
+                "codec {}: total error {} exceeds budget {}",
+                codec.name(), total, artifact.error_budget()
+            );
+        }
+    }
+
+    /// The lossless codec reproduces the decomposition exactly — the artifact
+    /// is indistinguishable from the in-memory `TuckerTensor`.
+    #[test]
+    fn f64_artifact_is_exactly_the_tucker(x in arbitrary_tensor()) {
+        let t = st_hosvd(&x, &SthosvdOptions::with_tolerance(1e-3)).tucker;
+        let path = temp_tkr("exact");
+        write_tucker(&path, &t, &StoreOptions::new(Codec::F64, 1e-3)).unwrap();
+        let artifact = TkrArtifact::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(artifact.tucker(), &t);
+    }
+}
+
+/// ISSUE 2 acceptance criterion: the SP surrogate round-trips through `.tkr`
+/// with relative error ≤ ε, and a ~1% window reconstructs bit-identically to
+/// slicing the full reconstruction — for the f64 and quantized codecs, and
+/// for `DistTucker` output on a non-trivial processor grid.
+#[test]
+fn sp_surrogate_round_trips_within_eps_for_all_codecs() {
+    let eps = 1e-3;
+    let ds = DatasetPreset::Sp.generate(1, 2024);
+    let result = st_hosvd(&ds.data, &SthosvdOptions::with_tolerance(eps));
+
+    // A ~1% window of the 24×24×24×8×16 field.
+    let window_ranges: Vec<(usize, usize)> = vec![(6, 6), (9, 6), (0, 6), (2, 4), (5, 5)];
+
+    for codec in [Codec::F64, Codec::F32, Codec::Q16] {
+        let path = temp_tkr(&format!("sp_{}", codec.name()));
+        let opts = StoreOptions::new(codec, eps).with_meta(TkrMetadata::for_dataset(&ds));
+        write_tucker(&path, &result.tucker, &opts).unwrap();
+        let artifact = TkrArtifact::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let full = artifact.reconstruct();
+        let err = relative_error(&ds.data, &full);
+        assert!(
+            err <= eps,
+            "{}: SP round-trip error {err} above eps {eps}",
+            codec.name()
+        );
+
+        let window = artifact.reconstruct_range(&window_ranges);
+        let expected = extract_subtensor(&full, &SubtensorSpec::from_ranges(&window_ranges));
+        assert_eq!(
+            window,
+            expected,
+            "{}: 1% window is not bit-identical to slicing the full reconstruction",
+            codec.name()
+        );
+        assert_eq!(artifact.header().meta.dataset, "SP");
+    }
+}
+
+#[test]
+fn sp_dist_tucker_round_trips_on_nontrivial_grid() {
+    let eps = 1e-3;
+    let ds = DatasetPreset::Sp.generate(1, 2024);
+    let data = ds.data.clone();
+    let seq = st_hosvd(&ds.data, &SthosvdOptions::with_tolerance(eps));
+    let seq_rec = seq.tucker.reconstruct();
+
+    for codec in [Codec::F64, Codec::Q16] {
+        let path = temp_tkr(&format!("sp_dist_{}", codec.name()));
+        let path2 = path.clone();
+        let data2 = data.clone();
+        let wrote = spmd_with_grid(ProcGrid::new(&[2, 1, 2, 1, 1]), move |comm| {
+            let dx = DistTensor::from_global(&comm, &data2);
+            let r = dist_st_hosvd(&comm, &dx, &SthosvdOptions::with_tolerance(eps));
+            gather_and_write(&comm, &r.tucker, &path2, &StoreOptions::new(codec, eps))
+                .unwrap()
+                .is_some()
+        });
+        assert_eq!(wrote.iter().filter(|&&w| w).count(), 1);
+
+        let artifact = TkrArtifact::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let full = artifact.reconstruct();
+        // Within ε of the original, and consistent with the sequential run.
+        assert!(
+            relative_error(&data, &full) <= eps,
+            "{}: distributed artifact misses the ε budget",
+            codec.name()
+        );
+        assert!(relative_error(&seq_rec, &full) < 1e-2);
+
+        // Window query bit-identical to slicing, on the distributed artifact.
+        let ranges: Vec<(usize, usize)> = vec![(0, 6), (0, 6), (12, 6), (0, 4), (8, 5)];
+        let window = artifact.reconstruct_range(&ranges);
+        let expected = extract_subtensor(&full, &SubtensorSpec::from_ranges(&ranges));
+        assert_eq!(window, expected);
+    }
+}

@@ -9,13 +9,24 @@ cd "$(dirname "$0")"
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q =="
-cargo test -q
+# The whole suite runs twice: single-threaded and on a 4-thread pool. The
+# execution layer's determinism contract says results are bit-identical, so
+# both runs must pass the *same* assertions.
+echo "== cargo test -q (TUCKER_THREADS=1) =="
+TUCKER_THREADS=1 cargo test -q
+
+echo "== cargo test -q (TUCKER_THREADS=4) =="
+TUCKER_THREADS=4 cargo test -q
 
 echo "== table3_storage (storage-layer shape check) =="
 # The binary asserts finite compression ratios and round-trip errors within
 # the declared eps + quantization budget; any violation exits non-zero.
 cargo run --release -p tucker-bench --bin table3_storage
+
+echo "== table4_threads (kernel determinism across thread counts) =="
+# Exits non-zero if any multi-threaded kernel produces different results
+# than the single-threaded run (smoke shape keeps this fast).
+TUCKER_TABLE4_SMOKE=1 cargo run --release -p tucker-bench --bin table4_threads
 
 echo "== cargo fmt --check =="
 cargo fmt --check

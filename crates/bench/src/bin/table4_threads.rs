@@ -1,0 +1,191 @@
+//! Tab. IV (this repo's extension) — shared-pool thread scaling of the hot
+//! kernels (ISSUE 3).
+//!
+//! The paper runs on multi-threaded BLAS within each node (Sec. IX); this
+//! harness measures the equivalent in our pure-Rust execution layer: the
+//! large TTM and Gram kernels plus the end-to-end ST-HOSVD at 1/2/4/8
+//! threads on the persistent `tucker-exec` pool.
+//!
+//! Two contracts are enforced:
+//!
+//! * **Determinism (hard):** every multi-threaded result must be
+//!   bit-identical to the single-threaded run. Any mismatch exits non-zero —
+//!   this is the CI smoke gate.
+//! * **Scaling (reported):** per-kernel speedups are printed; when the host
+//!   has at least 4 cores, a speedup below 2× at 4 threads on the large TTM
+//!   and Gram kernels is flagged loudly (and exits non-zero under
+//!   `TUCKER_TABLE4_STRICT=1`). On smaller hosts the table is informational —
+//!   oversubscribed pools cannot speed anything up, only stay correct.
+//!
+//! Run: `cargo run --release -p tucker-bench --bin table4_threads`
+//! (set `TUCKER_TABLE4_SMOKE=1` for the quick CI shape).
+
+use tucker_bench::{print_header, print_row, timed};
+use tucker_core::st_hosvd_ctx;
+use tucker_core::sthosvd::SthosvdOptions;
+use tucker_exec::ExecContext;
+use tucker_linalg::Matrix;
+use tucker_tensor::{gram_ctx, ttm_ctx, DenseTensor, TtmTranspose};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn wavy(dims: &[usize]) -> DenseTensor {
+    DenseTensor::from_fn(dims, |idx| {
+        let mut v = 0.4;
+        for (k, &i) in idx.iter().enumerate() {
+            v += ((k + 2) as f64 * 0.13 * i as f64).sin();
+        }
+        v
+    })
+}
+
+/// Best-of-`reps` wall time plus the (first) result for identity checks.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let (result, mut best) = timed(&mut f);
+    for _ in 1..reps {
+        let (_, t) = timed(&mut f);
+        best = best.min(t);
+    }
+    (result, best)
+}
+
+struct KernelRow {
+    name: &'static str,
+    /// Whether this row participates in the ≥2× @ 4 threads check.
+    scaling_gated: bool,
+    /// Seconds per thread count, indexed like `THREADS`.
+    secs: Vec<f64>,
+}
+
+fn main() {
+    let smoke = std::env::var("TUCKER_TABLE4_SMOKE").is_ok_and(|v| v == "1");
+    let strict = std::env::var("TUCKER_TABLE4_STRICT").is_ok_and(|v| v == "1");
+    let (dims, rank, reps) = if smoke {
+        (vec![36usize, 36, 36], 9usize, 2usize)
+    } else {
+        (vec![96usize, 96, 96], 24usize, 3usize)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Tab. IV — kernel scaling on the shared pool ({dims:?}, rank {rank}, {cores} core(s))\n"
+    );
+
+    let x = wavy(&dims);
+    let v0 = Matrix::from_fn(dims[0], rank, |i, j| ((i * 3 + j * 11) as f64 * 0.21).cos());
+    let v1 = Matrix::from_fn(dims[1], rank, |i, j| ((i * 7 + j * 5) as f64 * 0.19).sin());
+    let opts = SthosvdOptions::with_ranks(vec![rank; dims.len()]);
+
+    let mut rows: Vec<KernelRow> = vec![
+        KernelRow {
+            name: "ttm mode-0",
+            scaling_gated: true,
+            secs: Vec::new(),
+        },
+        KernelRow {
+            name: "ttm mode-1",
+            scaling_gated: true,
+            secs: Vec::new(),
+        },
+        KernelRow {
+            name: "gram mode-0",
+            scaling_gated: true,
+            secs: Vec::new(),
+        },
+        KernelRow {
+            name: "gram mode-1",
+            scaling_gated: true,
+            secs: Vec::new(),
+        },
+        KernelRow {
+            name: "st_hosvd",
+            scaling_gated: false,
+            secs: Vec::new(),
+        },
+    ];
+    let mut baselines: Vec<Vec<f64>> = Vec::new();
+    let mut mismatches = 0usize;
+
+    for (ti, &threads) in THREADS.iter().enumerate() {
+        let ctx = ExecContext::new(threads);
+        let outputs: Vec<(Vec<f64>, f64)> = vec![
+            {
+                let (y, s) = best_of(reps, || ttm_ctx(&ctx, &x, &v0, 0, TtmTranspose::Transpose));
+                (y.into_vec(), s)
+            },
+            {
+                let (y, s) = best_of(reps, || ttm_ctx(&ctx, &x, &v1, 1, TtmTranspose::Transpose));
+                (y.into_vec(), s)
+            },
+            {
+                let (s_mat, s) = best_of(reps, || gram_ctx(&ctx, &x, 0));
+                (s_mat.into_vec(), s)
+            },
+            {
+                let (s_mat, s) = best_of(reps, || gram_ctx(&ctx, &x, 1));
+                (s_mat.into_vec(), s)
+            },
+            {
+                let (r, s) = best_of(reps.min(2), || st_hosvd_ctx(&x, &opts, &ctx));
+                (r.tucker.core.into_vec(), s)
+            },
+        ];
+        for (ki, (data, secs)) in outputs.into_iter().enumerate() {
+            rows[ki].secs.push(secs);
+            if ti == 0 {
+                baselines.push(data);
+            } else if data != baselines[ki] {
+                eprintln!(
+                    "DETERMINISM VIOLATION: {} differs at {threads} threads vs 1 thread",
+                    rows[ki].name
+                );
+                mismatches += 1;
+            }
+        }
+    }
+
+    let widths = [12usize, 11, 11, 11, 11, 12];
+    print_header(
+        &[
+            "kernel",
+            "t=1 (s)",
+            "t=2 (s)",
+            "t=4 (s)",
+            "t=8 (s)",
+            "speedup@4",
+        ],
+        &widths,
+    );
+    let four = THREADS.iter().position(|&t| t == 4).expect("4 in THREADS");
+    let mut weak_scaling = Vec::new();
+    for row in &rows {
+        let speedup4 = row.secs[0] / row.secs[four].max(1e-12);
+        let mut cells: Vec<String> = vec![row.name.to_string()];
+        cells.extend(row.secs.iter().map(|s| format!("{s:.4}")));
+        cells.push(format!("{speedup4:.2}x"));
+        print_row(&cells, &widths);
+        if row.scaling_gated && speedup4 < 2.0 {
+            weak_scaling.push((row.name, speedup4));
+        }
+    }
+
+    println!();
+    if mismatches > 0 {
+        eprintln!("table4_threads: FAILED — {mismatches} kernel(s) are not bit-identical across thread counts");
+        std::process::exit(1);
+    }
+    println!("determinism: OK — all kernels bit-identical at 1/2/4/8 threads");
+    if weak_scaling.is_empty() {
+        println!("scaling: OK — every gated kernel reached >=2x at 4 threads");
+    } else if cores >= 4 {
+        for (name, s) in &weak_scaling {
+            eprintln!("scaling: {name} reached only {s:.2}x at 4 threads (target >=2x)");
+        }
+        if strict {
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "scaling: skipped — host has {cores} core(s); oversubscribed pools are checked for correctness only"
+        );
+    }
+}

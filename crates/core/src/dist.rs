@@ -31,12 +31,25 @@ use crate::rank::{discarded_tail, RankSelection};
 use crate::tucker::TuckerTensor;
 use tucker_distmem::collectives::{all_gather, all_reduce, reduce_scatter_blocks};
 use tucker_distmem::{Communicator, ProcGrid, SubCommunicator};
+use tucker_exec::ExecContext;
 use tucker_linalg::eig::{sym_eig_desc, SymEig};
-use tucker_linalg::gemm::{gemm, Transpose};
+use tucker_linalg::gemm::{gemm_ctx, Transpose};
 use tucker_linalg::Matrix;
 use tucker_tensor::layout::Unfolding;
 use tucker_tensor::slice::insert_subtensor;
-use tucker_tensor::{extract_subtensor, gram, ttm, DenseTensor, SubtensorSpec, TtmTranspose};
+use tucker_tensor::{
+    extract_subtensor, gram_ctx, ttm_ctx, DenseTensor, SubtensorSpec, TtmTranspose,
+};
+
+/// The execution context a simulated rank uses when the caller did not pass
+/// one: an even share of the global pool, `max(1, threads / ranks)` — the
+/// hybrid "ranks × threads" model (MPI + OpenMP in TuckerMPI terms). All
+/// ranks scatter onto the **same** persistent pool, so total parallelism
+/// stays bounded by the machine rather than `ranks × threads`.
+pub fn hybrid_ctx(comm: &Communicator) -> ExecContext {
+    let global = ExecContext::global();
+    global.with_budget((global.threads() / comm.size().max(1)).max(1))
+}
 
 use crate::sthosvd::SthosvdOptions;
 
@@ -184,6 +197,9 @@ pub struct KernelTimings {
     pub evecs: Vec<f64>,
     /// Seconds in [`parallel_ttm`] (Alg. 3), indexed by mode.
     pub ttm: Vec<f64>,
+    /// The per-rank thread budget the run executed with (hybrid
+    /// ranks × threads accounting; 1 when no pool was used).
+    pub thread_budget: usize,
 }
 
 impl KernelTimings {
@@ -193,6 +209,7 @@ impl KernelTimings {
             gram: vec![0.0; nmodes],
             evecs: vec![0.0; nmodes],
             ttm: vec![0.0; nmodes],
+            thread_budget: 1,
         }
     }
 
@@ -266,6 +283,19 @@ pub fn parallel_ttm(
     n: usize,
     trans: TtmTranspose,
 ) -> DistTensor {
+    parallel_ttm_ctx(comm, y, v, n, trans, &hybrid_ctx(comm))
+}
+
+/// [`parallel_ttm`] on an explicit per-rank execution context: the local TTM
+/// runs on this rank's share of the shared pool (hybrid ranks × threads).
+pub fn parallel_ttm_ctx(
+    comm: &Communicator,
+    y: &DistTensor,
+    v: &Matrix,
+    n: usize,
+    trans: TtmTranspose,
+    ctx: &ExecContext,
+) -> DistTensor {
     let dims = y.global_dims();
     assert!(n < dims.len(), "parallel_ttm: mode {n} out of range");
     let in_dim = dims[n];
@@ -286,7 +316,7 @@ pub fn parallel_ttm(
         TtmTranspose::NoTranspose => v.col_block(off, off + len),
         TtmTranspose::Transpose => v.row_block(off, off + len),
     };
-    let partial = ttm(y.local(), &v_slice, n, trans);
+    let partial = ttm_ctx(ctx, y.local(), &v_slice, n, trans);
 
     let mut new_dims = y.global_dims().to_vec();
     new_dims[n] = k;
@@ -344,14 +374,24 @@ pub fn parallel_ttm(
 /// `q`. The partial row block is then sum-reduced across the mode-`n`
 /// processor row (the ranks owning the remaining global columns).
 pub fn parallel_gram(comm: &Communicator, y: &DistTensor, n: usize) -> Matrix {
+    parallel_gram_ctx(comm, y, n, &hybrid_ctx(comm))
+}
+
+/// [`parallel_gram`] on an explicit per-rank execution context.
+pub fn parallel_gram_ctx(
+    comm: &Communicator,
+    y: &DistTensor,
+    n: usize,
+    ctx: &ExecContext,
+) -> Matrix {
     let dims = y.global_dims();
     assert!(n < dims.len(), "parallel_gram: mode {n} out of range");
     let col_group = SubCommunicator::mode_column(comm, n);
     let row_group = SubCommunicator::mode_row(comm, n);
 
     if col_group.size() == 1 && row_group.size() == 1 {
-        // Single rank: defer to the sequential kernel (bit-identical).
-        return gram(y.local(), n);
+        // Single rank: defer to the local kernel (bit-identical).
+        return gram_ctx(ctx, y.local(), n);
     }
 
     let in_total = dims[n];
@@ -373,7 +413,7 @@ pub fn parallel_gram(comm: &Communicator, y: &DistTensor, n: usize) -> Matrix {
             let panel_q = Matrix::from_vec(q_len, w_me.cols(), current.clone());
             // W_me · W_qᵀ — the (my rows × owner's rows) block over the shared
             // local columns.
-            let contrib = gemm(Transpose::No, Transpose::Yes, 1.0, &w_me, &panel_q);
+            let contrib = gemm_ctx(ctx, Transpose::No, Transpose::Yes, 1.0, &w_me, &panel_q);
             for i in 0..my_len {
                 s_partial.row_mut(i)[q_off..q_off + q_len].copy_from_slice(contrib.row(i));
             }
@@ -433,6 +473,17 @@ pub fn dist_st_hosvd(
     x: &DistTensor,
     opts: &SthosvdOptions,
 ) -> DistSthosvdResult {
+    dist_st_hosvd_ctx(comm, x, opts, &hybrid_ctx(comm))
+}
+
+/// [`dist_st_hosvd`] on an explicit per-rank execution context (hybrid
+/// ranks × threads; [`KernelTimings::thread_budget`] records the budget).
+pub fn dist_st_hosvd_ctx(
+    comm: &Communicator,
+    x: &DistTensor,
+    opts: &SthosvdOptions,
+    ctx: &ExecContext,
+) -> DistSthosvdResult {
     let nmodes = x.global_dims().len();
     let norm_x_sq = x.global_norm_sq(comm);
 
@@ -448,10 +499,11 @@ pub fn dist_st_hosvd(
     let mut mode_eigenvalues: Vec<Vec<f64>> = vec![Vec::new(); nmodes];
     let mut discarded_energy = 0.0;
     let mut timings = KernelTimings::new(nmodes);
+    timings.thread_budget = ctx.threads();
 
     for &n in &order {
         let t0 = Instant::now();
-        let s_block = parallel_gram(comm, &y, n);
+        let s_block = parallel_gram_ctx(comm, &y, n, ctx);
         timings.gram[n] += t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
@@ -465,7 +517,7 @@ pub fn dist_st_hosvd(
         ranks[n] = r;
 
         let t0 = Instant::now();
-        y = parallel_ttm(comm, &y, &u, n, TtmTranspose::Transpose);
+        y = parallel_ttm_ctx(comm, &y, &u, n, TtmTranspose::Transpose, ctx);
         timings.ttm[n] += t0.elapsed().as_secs_f64();
 
         factors[n] = Some(u);
@@ -492,10 +544,20 @@ pub fn dist_st_hosvd(
 /// `‖X‖² − ‖G‖²` is computed from globally reduced norms, so every rank makes
 /// the same convergence decision.
 pub fn dist_hooi(comm: &Communicator, x: &DistTensor, opts: &HooiOptions) -> DistHooiResult {
+    dist_hooi_ctx(comm, x, opts, &hybrid_ctx(comm))
+}
+
+/// [`dist_hooi`] on an explicit per-rank execution context.
+pub fn dist_hooi_ctx(
+    comm: &Communicator,
+    x: &DistTensor,
+    opts: &HooiOptions,
+    ctx: &ExecContext,
+) -> DistHooiResult {
     let nmodes = x.global_dims().len();
     let norm_x_sq = x.global_norm_sq(comm);
 
-    let init = dist_st_hosvd(comm, x, &opts.init);
+    let init = dist_st_hosvd_ctx(comm, x, &opts.init, ctx);
     let ranks = init.ranks.clone();
     let mut factors = init.tucker.factors;
     let mut core = init.tucker.core;
@@ -509,14 +571,14 @@ pub fn dist_hooi(comm: &Communicator, x: &DistTensor, opts: &HooiOptions) -> Dis
             let mut y = x.clone();
             for m in 0..nmodes {
                 if m != n {
-                    y = parallel_ttm(comm, &y, &factors[m], m, TtmTranspose::Transpose);
+                    y = parallel_ttm_ctx(comm, &y, &factors[m], m, TtmTranspose::Transpose, ctx);
                 }
             }
-            let s_block = parallel_gram(comm, &y, n);
+            let s_block = parallel_gram_ctx(comm, &y, n, ctx);
             let eig = parallel_evecs(comm, &y, n, &s_block);
             factors[n] = eig.leading_vectors(ranks[n]);
             if n == nmodes - 1 {
-                core = parallel_ttm(comm, &y, &factors[n], n, TtmTranspose::Transpose);
+                core = parallel_ttm_ctx(comm, &y, &factors[n], n, TtmTranspose::Transpose, ctx);
             }
         }
         iterations += 1;
@@ -540,9 +602,14 @@ pub fn dist_hooi(comm: &Communicator, x: &DistTensor, opts: &HooiOptions) -> Dis
 /// parallel TTMs that grows the distributed core back to the original
 /// (distributed) dimensions.
 pub fn dist_reconstruct(comm: &Communicator, t: &DistTucker) -> DistTensor {
+    dist_reconstruct_ctx(comm, t, &hybrid_ctx(comm))
+}
+
+/// [`dist_reconstruct`] on an explicit per-rank execution context.
+pub fn dist_reconstruct_ctx(comm: &Communicator, t: &DistTucker, ctx: &ExecContext) -> DistTensor {
     let mut y = t.core.clone();
     for (n, u) in t.factors.iter().enumerate() {
-        y = parallel_ttm(comm, &y, u, n, TtmTranspose::NoTranspose);
+        y = parallel_ttm_ctx(comm, &y, u, n, TtmTranspose::NoTranspose, ctx);
     }
     y
 }

@@ -7,12 +7,13 @@
 //! its leading eigenvectors replace `U⁽ⁿ⁾`. The fit is tracked through
 //! `‖X‖² − ‖G‖²` (line 10), which decreases monotonically.
 
-use crate::sthosvd::{st_hosvd, SthosvdOptions};
+use crate::sthosvd::{st_hosvd_ctx, SthosvdOptions};
 use crate::tucker::TuckerTensor;
 use serde::{Deserialize, Serialize};
+use tucker_exec::{ExecContext, Workspace};
 use tucker_linalg::eig::sym_eig_desc;
 use tucker_linalg::Matrix;
-use tucker_tensor::{gram, multi_ttm, ttm, DenseTensor, TtmTranspose};
+use tucker_tensor::{gram_ctx, ttm_ctx, ttm_into_ctx, DenseTensor, TtmTranspose};
 
 /// Options controlling HOOI.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,35 +74,65 @@ impl HooiResult {
     }
 }
 
-/// Computes a Tucker decomposition by HOOI (Alg. 2), initialized with ST-HOSVD.
+/// Computes a Tucker decomposition by HOOI (Alg. 2), initialized with
+/// ST-HOSVD, on the global execution context.
 pub fn hooi(x: &DenseTensor, opts: &HooiOptions) -> HooiResult {
+    hooi_ctx(x, opts, ExecContext::global())
+}
+
+/// [`hooi`] on an explicit execution context.
+///
+/// The TTM chain of every factor update runs through a [`Workspace`]: the
+/// shrinking intermediates of Alg. 2 line 5 ping-pong between recycled
+/// buffers instead of allocating `O(iterations × modes²)` fresh tensors.
+/// Results are bit-identical to the allocating formulation and across thread
+/// counts.
+pub fn hooi_ctx(x: &DenseTensor, opts: &HooiOptions, ctx: &ExecContext) -> HooiResult {
     let nmodes = x.ndims();
     let norm_x_sq = x.norm_sq();
 
     // Line 2: initialize with ST-HOSVD; the ranks are frozen afterwards.
-    let init = st_hosvd(x, &opts.init);
+    let init = st_hosvd_ctx(x, &opts.init, ctx);
     let ranks = init.ranks.clone();
     let mut factors: Vec<Matrix> = init.tucker.factors.clone();
     let mut core = init.tucker.core.clone();
     let mut fit_history = vec![norm_x_sq - core.norm_sq()];
+    let mut ws = Workspace::new();
 
     let mut iterations = 0;
     for _ in 0..opts.max_iterations {
         // Lines 4–8: update each factor in turn.
         for n in 0..nmodes {
-            // Y = X ×_{m≠n} U⁽ᵐ⁾ᵀ, applied in natural order.
-            let opts_m: Vec<Option<&Matrix>> = (0..nmodes)
-                .map(|m| if m == n { None } else { Some(&factors[m]) })
-                .collect();
-            let order: Vec<usize> = (0..nmodes).filter(|&m| m != n).collect();
-            let y = multi_ttm(x, &opts_m, TtmTranspose::Transpose, &order);
-            let s = gram(&y, n);
+            // Y = X ×_{m≠n} U⁽ᵐ⁾ᵀ, applied in natural order through
+            // workspace-recycled intermediates (`None` means "still X").
+            let mut cur: Option<DenseTensor> = None;
+            for m in (0..nmodes).filter(|&m| m != n) {
+                let src: &DenseTensor = cur.as_ref().unwrap_or(x);
+                let mut out_dims = src.dims().to_vec();
+                out_dims[m] = ranks[m];
+                let len = out_dims.iter().product();
+                let mut out = DenseTensor::from_vec(&out_dims, ws.take(len));
+                ttm_into_ctx(ctx, src, &factors[m], m, TtmTranspose::Transpose, &mut out);
+                if let Some(prev) = cur.take() {
+                    ws.give(prev.into_vec());
+                }
+                cur = Some(out);
+            }
+            let y: &DenseTensor = cur.as_ref().unwrap_or(x);
+            let s = gram_ctx(ctx, y, n);
             let eig = sym_eig_desc(&s);
             factors[n] = eig.leading_vectors(ranks[n]);
             // Line 9 (executed on the last mode): the current Y already has all
             // products except mode n applied, so the new core is Y ×_n U⁽ⁿ⁾ᵀ.
             if n == nmodes - 1 {
-                core = ttm(&y, &factors[n], n, TtmTranspose::Transpose);
+                let old = std::mem::replace(
+                    &mut core,
+                    ttm_ctx(ctx, y, &factors[n], n, TtmTranspose::Transpose),
+                );
+                ws.give(old.into_vec());
+            }
+            if let Some(t) = cur {
+                ws.give(t.into_vec());
             }
         }
         iterations += 1;
@@ -125,6 +156,7 @@ pub fn hooi(x: &DenseTensor, opts: &HooiOptions) -> HooiResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sthosvd::st_hosvd;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use tucker_tensor::{normalized_rms_error, ttm_chain};

@@ -51,11 +51,14 @@ pub mod thosvd;
 pub mod tucker;
 
 pub use error::{compression_ratio, error_bound, mode_wise_error_curves, ModeErrorCurve};
-pub use hooi::{hooi, HooiOptions, HooiResult};
+pub use hooi::{hooi, hooi_ctx, HooiOptions, HooiResult};
 pub use ordering::ModeOrder;
 pub use rank::{select_rank_by_threshold, RankSelection};
-pub use reconstruct::{reconstruct_element, reconstruct_full, reconstruct_subtensor};
-pub use sthosvd::{st_hosvd, SthosvdOptions, SthosvdResult};
+pub use reconstruct::{
+    reconstruct_element, reconstruct_full, reconstruct_full_ctx, reconstruct_subtensor,
+    reconstruct_subtensor_ctx,
+};
+pub use sthosvd::{st_hosvd, st_hosvd_ctx, SthosvdOptions, SthosvdResult};
 pub use thosvd::{t_hosvd, ThosvdResult};
 pub use tucker::TuckerTensor;
 
@@ -63,11 +66,12 @@ pub use tucker::TuckerTensor;
 pub mod prelude {
     pub use crate::dist::{DistTensor, DistTucker};
     pub use crate::error::{compression_ratio, error_bound, mode_wise_error_curves};
-    pub use crate::hooi::{hooi, HooiOptions, HooiResult};
+    pub use crate::hooi::{hooi, hooi_ctx, HooiOptions, HooiResult};
     pub use crate::ordering::ModeOrder;
     pub use crate::rank::RankSelection;
     pub use crate::reconstruct::{reconstruct_element, reconstruct_full, reconstruct_subtensor};
-    pub use crate::sthosvd::{st_hosvd, SthosvdOptions, SthosvdResult};
+    pub use crate::sthosvd::{st_hosvd, st_hosvd_ctx, SthosvdOptions, SthosvdResult};
     pub use crate::thosvd::t_hosvd;
     pub use crate::tucker::TuckerTensor;
+    pub use tucker_exec::ExecContext;
 }

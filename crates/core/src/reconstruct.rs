@@ -9,18 +9,33 @@
 //! terabyte simulations possible.
 
 use crate::tucker::TuckerTensor;
+use tucker_exec::ExecContext;
 use tucker_linalg::Matrix;
-use tucker_tensor::{ttm_chain, DenseTensor, SubtensorSpec, TtmTranspose};
+use tucker_tensor::{ttm_chain_ctx, DenseTensor, SubtensorSpec, TtmTranspose};
 
 /// Reconstructs the full tensor `X̃ = G × {U⁽ⁿ⁾}`.
 pub fn reconstruct_full(t: &TuckerTensor) -> DenseTensor {
     t.reconstruct()
 }
 
+/// [`reconstruct_full`] on an explicit execution context.
+pub fn reconstruct_full_ctx(t: &TuckerTensor, ctx: &ExecContext) -> DenseTensor {
+    t.reconstruct_ctx(ctx)
+}
+
 /// Reconstructs only the subtensor selected by `spec`, without ever forming the
 /// full tensor: mode `n` of the result contains the rows `spec.mode_indices(n)`
 /// of the reconstruction.
 pub fn reconstruct_subtensor(t: &TuckerTensor, spec: &SubtensorSpec) -> DenseTensor {
+    reconstruct_subtensor_ctx(t, spec, ExecContext::global())
+}
+
+/// [`reconstruct_subtensor`] on an explicit execution context.
+pub fn reconstruct_subtensor_ctx(
+    t: &TuckerTensor,
+    spec: &SubtensorSpec,
+    ctx: &ExecContext,
+) -> DenseTensor {
     assert_eq!(
         spec.ndims(),
         t.ndims(),
@@ -36,7 +51,7 @@ pub fn reconstruct_subtensor(t: &TuckerTensor, spec: &SubtensorSpec) -> DenseTen
         .map(|(n, u)| u.select_rows(spec.mode_indices(n)))
         .collect();
     let refs: Vec<&Matrix> = sub_factors.iter().collect();
-    ttm_chain(&t.core, &refs, TtmTranspose::NoTranspose)
+    ttm_chain_ctx(ctx, &t.core, &refs, TtmTranspose::NoTranspose)
 }
 
 /// Reconstructs a single mode-`n` slice at index `idx` (e.g. one variable or

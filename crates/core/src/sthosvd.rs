@@ -10,8 +10,9 @@ use crate::ordering::ModeOrder;
 use crate::rank::{discarded_tail, RankSelection};
 use crate::tucker::TuckerTensor;
 use serde::{Deserialize, Serialize};
+use tucker_exec::ExecContext;
 use tucker_linalg::eig::sym_eig_desc;
-use tucker_tensor::{gram, ttm, DenseTensor, TtmTranspose};
+use tucker_tensor::{gram_ctx, ttm_ctx, DenseTensor, TtmTranspose};
 
 /// Options controlling ST-HOSVD.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,8 +81,15 @@ impl SthosvdResult {
     }
 }
 
-/// Computes the ST-HOSVD of `x` (Alg. 1).
+/// Computes the ST-HOSVD of `x` (Alg. 1) on the global execution context.
 pub fn st_hosvd(x: &DenseTensor, opts: &SthosvdOptions) -> SthosvdResult {
+    st_hosvd_ctx(x, opts, ExecContext::global())
+}
+
+/// [`st_hosvd`] on an explicit execution context: the Gram and TTM kernels of
+/// every mode run on the context's share of the process pool. Results are
+/// bit-identical for every thread count (see `docs/ARCHITECTURE.md` §4).
+pub fn st_hosvd_ctx(x: &DenseTensor, opts: &SthosvdOptions, ctx: &ExecContext) -> SthosvdResult {
     let nmodes = x.ndims();
     let norm_x_sq = x.norm_sq();
 
@@ -101,7 +109,7 @@ pub fn st_hosvd(x: &DenseTensor, opts: &SthosvdOptions) -> SthosvdResult {
 
     for &n in &order {
         // Gram matrix of the current tensor's mode-n unfolding.
-        let s = gram(&y, n);
+        let s = gram_ctx(ctx, &y, n);
         let eig = sym_eig_desc(&s);
         let r = opts.rank.select(n, &eig.values, norm_x_sq, nmodes);
         let u = eig.leading_vectors(r);
@@ -109,7 +117,7 @@ pub fn st_hosvd(x: &DenseTensor, opts: &SthosvdOptions) -> SthosvdResult {
         mode_eigenvalues[n] = eig.values;
         ranks[n] = r;
         // Shrink the tensor: Y ← Y ×_n U⁽ⁿ⁾ᵀ.
-        y = ttm(&y, &u, n, TtmTranspose::Transpose);
+        y = ttm_ctx(ctx, &y, &u, n, TtmTranspose::Transpose);
         factors[n] = Some(u);
     }
 

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use tucker_linalg::Matrix;
-use tucker_tensor::{ttm_chain, DenseTensor, TtmTranspose};
+use tucker_tensor::{DenseTensor, TtmTranspose};
 
 /// A Tucker decomposition `X ≈ G ×₁ U⁽¹⁾ ×₂ U⁽²⁾ ⋯ ×_N U⁽ᴺ⁾`.
 ///
@@ -73,8 +73,13 @@ impl TuckerTensor {
 
     /// Reconstructs the full tensor `X̃ = G × {U⁽ⁿ⁾}` (eq. (1) of the paper).
     pub fn reconstruct(&self) -> DenseTensor {
+        self.reconstruct_ctx(tucker_exec::ExecContext::global())
+    }
+
+    /// [`TuckerTensor::reconstruct`] on an explicit execution context.
+    pub fn reconstruct_ctx(&self, ctx: &tucker_exec::ExecContext) -> DenseTensor {
         let refs: Vec<&Matrix> = self.factors.iter().collect();
-        ttm_chain(&self.core, &refs, TtmTranspose::NoTranspose)
+        tucker_tensor::ttm_chain_ctx(ctx, &self.core, &refs, TtmTranspose::NoTranspose)
     }
 
     /// The norm of the core tensor, `‖G‖`. For factors with orthonormal columns

@@ -1,0 +1,111 @@
+//! Reusable `Vec<f64>` buffers for iterative drivers.
+//!
+//! The HOOI inner loop (Alg. 2 lines 4–8) materializes a chain of shrinking
+//! TTM intermediates on every sweep; with a [`Workspace`] those intermediates
+//! ping-pong through a small set of recycled allocations instead of hitting
+//! the allocator `O(iterations × modes²)` times.
+
+/// A pool of reusable `f64` buffers.
+///
+/// Not thread-safe by design — each driver owns one workspace; the parallel
+/// kernels receive disjoint slices *of* these buffers, never the pool itself.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: Vec<Vec<f64>>,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Returns a buffer of exactly `len` elements with **unspecified
+    /// contents** (stale values from a previous use may remain), reusing the
+    /// pooled allocation with the largest capacity when one exists.
+    ///
+    /// Consumers must fully overwrite the buffer — the intended ones do:
+    /// `ttm_into_ctx` writes every output element (GEMM with `beta = 0`
+    /// zero-scales each panel before accumulating). Skipping the memset here
+    /// is the point of recycling: a zero-fill would re-add most of the
+    /// allocation cost the workspace exists to remove.
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        let best = (0..self.free.len()).max_by_key(|&i| self.free[i].capacity());
+        let mut buf = match best {
+            Some(i) => self.free.swap_remove(i),
+            None => Vec::new(),
+        };
+        // Only growth beyond the retained length is zero-filled.
+        buf.truncate(len);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    pub fn give(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of pooled buffers currently idle.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total capacity (in elements) held by idle buffers.
+    pub fn reserved(&self) -> usize {
+        self.free.iter().map(|b| b.capacity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_without_zeroing_but_zeroes_growth() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(8);
+        assert_eq!(a, vec![0.0; 8], "fresh buffers start zeroed");
+        a.iter_mut().for_each(|v| *v = 7.0);
+        ws.give(a);
+        let b = ws.take(12);
+        // The reused prefix keeps stale contents (the contract: consumers
+        // overwrite everything); only the growth is zero-filled.
+        assert_eq!(&b[..8], &[7.0; 8]);
+        assert_eq!(&b[8..], &[0.0; 4]);
+        assert_eq!(b.len(), 12);
+    }
+
+    #[test]
+    fn allocations_are_recycled() {
+        let mut ws = Workspace::new();
+        let a = ws.take(1024);
+        let ptr = a.as_ptr();
+        ws.give(a);
+        let b = ws.take(512);
+        // Shrinking take reuses the same allocation.
+        assert_eq!(b.as_ptr(), ptr);
+        assert_eq!(b.len(), 512);
+        assert!(b.capacity() >= 1024);
+    }
+
+    #[test]
+    fn largest_capacity_is_preferred() {
+        let mut ws = Workspace::new();
+        ws.give(Vec::with_capacity(16));
+        ws.give(Vec::with_capacity(4096));
+        let buf = ws.take(1000);
+        assert!(buf.capacity() >= 4096);
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let mut ws = Workspace::new();
+        ws.give(Vec::new());
+        assert_eq!(ws.pooled(), 0);
+        assert_eq!(ws.reserved(), 0);
+    }
+}

@@ -4,10 +4,18 @@
 //! calls over sub-blocks of unfolded tensors (paper Sec. IV-C / V-B). Those
 //! call sites work on raw slices with explicit leading dimensions, so the
 //! primary entry point here is [`gemm_slices`]; [`gemm`] / [`gemm_into`] are
-//! `Matrix`-typed conveniences and [`par_gemm`] parallelizes over row panels
-//! using scoped threads.
+//! `Matrix`-typed conveniences. [`gemm_slices_ctx`] / [`gemm_ctx`] run the
+//! same kernel over row panels scattered onto the shared `tucker-exec` pool
+//! (one panel per thread, no per-call spawning), and [`par_gemm`] survives as
+//! a thin compatibility wrapper over that pool-backed path.
+//!
+//! **Determinism contract:** row-panel parallelism never changes the
+//! per-element accumulation order (the `KC` blocking of the contraction
+//! dimension is identical in every panel), so `gemm_slices_ctx` is
+//! bit-identical to `gemm_slices` for every thread count.
 
 use crate::matrix::Matrix;
+use tucker_exec::ExecContext;
 
 /// Transpose option for a GEMM operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,12 +213,163 @@ pub fn gemm_into(
     );
 }
 
-/// Thread-parallel GEMM: `alpha · op(A) · op(B)`, splitting the rows of the
-/// result across `threads` scoped worker threads.
+/// Work (in multiply-adds) below which parallel GEMM entry points stay
+/// sequential (shared workspace-wide threshold, re-exported for callers).
+pub use tucker_exec::PAR_MIN_WORK;
+
+/// [`par_gemm`]'s legacy row threshold: with fewer than `2 · threads` result
+/// rows it falls back to the sequential kernel.
+pub const PAR_MIN_ROWS_PER_THREAD: usize = 2;
+
+/// Pool-backed [`gemm_slices`]: `C ← alpha · op(A) · op(B) + beta · C`,
+/// splitting the rows of `C` into one panel per available thread of `ctx`.
 ///
-/// Falls back to the sequential kernel when the problem is small or
-/// `threads <= 1`. This mirrors the paper's reliance on threaded BLAS within a
-/// node (Sec. IX mentions multi-threaded BLAS as an optimization avenue).
+/// Each panel is computed by the ordinary sequential kernel over the full
+/// contraction dimension, so the result is **bit-identical** to
+/// [`gemm_slices`] regardless of the thread count. Small problems
+/// (`m·n·k < `[`PAR_MIN_WORK`]) run inline without touching the pool.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slices_ctx(
+    ctx: &ExecContext,
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f64,
+    a: &[f64],
+    a_rows: usize,
+    a_cols: usize,
+    lda: usize,
+    b: &[f64],
+    b_rows: usize,
+    b_cols: usize,
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let (m, ka) = ta.effective(a_rows, a_cols);
+    let (kb, n) = tb.effective(b_rows, b_cols);
+    assert_eq!(ka, kb, "gemm: inner dimension mismatch ({ka} vs {kb})");
+    let k = ka;
+    let work = m.saturating_mul(n).saturating_mul(k);
+    let parts = ctx.partition_for_work(m, work);
+    if parts <= 1 {
+        gemm_slices(
+            ta, tb, alpha, a, a_rows, a_cols, lda, b, b_rows, b_cols, ldb, beta, c, ldc,
+        );
+        return;
+    }
+
+    if m > 0 {
+        assert!(c.len() >= (m - 1) * ldc + n, "gemm: C slice too short");
+    }
+    // Split C into disjoint row panels; each pool thread computes one panel
+    // against the full op(B). For op(A) = Aᵀ the panel's rows are a column
+    // range of the stored A, reachable by offsetting the slice start.
+    let ranges = tucker_exec::chunk_ranges(m, parts);
+    ctx.for_each_row_panel(c, ldc, ranges, |rows, panel| {
+        let (row0, nrows) = (rows.start, rows.len());
+        match ta {
+            Transpose::No => gemm_slices(
+                Transpose::No,
+                tb,
+                alpha,
+                &a[row0 * lda..],
+                nrows,
+                a_cols,
+                lda,
+                b,
+                b_rows,
+                b_cols,
+                ldb,
+                beta,
+                panel,
+                ldc,
+            ),
+            Transpose::Yes => gemm_slices(
+                Transpose::Yes,
+                tb,
+                alpha,
+                &a[row0..],
+                a_rows,
+                nrows,
+                lda,
+                b,
+                b_rows,
+                b_cols,
+                ldb,
+                beta,
+                panel,
+                ldc,
+            ),
+        }
+    });
+}
+
+/// Pool-backed [`gemm`]: computes `alpha · op(A) · op(B)` on the threads of
+/// `ctx` and returns a new [`Matrix`]. Bit-identical to [`gemm`].
+pub fn gemm_ctx(
+    ctx: &ExecContext,
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+) -> Matrix {
+    let (m, _) = ta.effective(a.rows(), a.cols());
+    let (_, n) = tb.effective(b.rows(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    gemm_into_ctx(ctx, ta, tb, alpha, a, b, 0.0, &mut c);
+    c
+}
+
+/// Pool-backed [`gemm_into`]: `C ← alpha · op(A) · op(B) + beta · C`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into_ctx(
+    ctx: &ExecContext,
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, ka) = ta.effective(a.rows(), a.cols());
+    let (kb, n) = tb.effective(b.rows(), b.cols());
+    assert_eq!(ka, kb, "gemm_into: inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm_into: output shape mismatch");
+    let lda = a.cols();
+    let ldb = b.cols();
+    let ldc = c.cols();
+    gemm_slices_ctx(
+        ctx,
+        ta,
+        tb,
+        alpha,
+        a.as_slice(),
+        a.rows(),
+        a.cols(),
+        lda,
+        b.as_slice(),
+        b.rows(),
+        b.cols(),
+        ldb,
+        beta,
+        c.as_mut_slice(),
+        ldc,
+    );
+}
+
+/// Thread-parallel GEMM: `alpha · op(A) · op(B)`, splitting the rows of the
+/// result across up to `threads` workers of the **shared process pool** (no
+/// threads are spawned per call).
+///
+/// Kept as a thin wrapper over [`gemm_slices_ctx`] for source compatibility.
+/// The historical small-size fallbacks are preserved exactly: the sequential
+/// kernel is used when `threads <= 1`, when `m < `[`PAR_MIN_ROWS_PER_THREAD`]` · threads`,
+/// or when `m·n·k < `[`PAR_MIN_WORK`] — and since the pool-backed path is
+/// bit-identical to the sequential kernel, crossing those boundaries can
+/// never change results.
 pub fn par_gemm(
     ta: Transpose,
     tb: Transpose,
@@ -224,88 +383,11 @@ pub fn par_gemm(
     assert_eq!(ka, kb, "par_gemm: inner dimension mismatch");
     let k = ka;
     let work = m.saturating_mul(n).saturating_mul(k);
-    if threads <= 1 || m < 2 * threads || work < 1 << 16 {
+    if threads <= 1 || m < PAR_MIN_ROWS_PER_THREAD * threads || work < PAR_MIN_WORK {
         return gemm(ta, tb, alpha, a, b);
     }
-
-    let mut c = Matrix::zeros(m, n);
-    let rows_per = m.div_ceil(threads);
-    let lda = a.cols();
-    let ldb = b.cols();
-    let a_slice = a.as_slice();
-    let b_slice = b.as_slice();
-
-    // Split C into disjoint row panels; each thread computes one panel.
-    let mut panels: Vec<&mut [f64]> = Vec::new();
-    {
-        let mut rest = c.as_mut_slice();
-        let mut row = 0usize;
-        while row < m {
-            let take = rows_per.min(m - row);
-            let (head, tail) = rest.split_at_mut(take * n);
-            panels.push(head);
-            rest = tail;
-            row += take;
-        }
-    }
-
-    std::thread::scope(|scope| {
-        for (t, panel) in panels.into_iter().enumerate() {
-            let row0 = t * rows_per;
-            let nrows = panel.len() / n;
-            scope.spawn(move || {
-                // Each worker multiplies its row panel of op(A) by the full op(B).
-                match ta {
-                    Transpose::No => {
-                        gemm_slices(
-                            Transpose::No,
-                            tb,
-                            alpha,
-                            &a_slice[row0 * lda..],
-                            nrows,
-                            a.cols(),
-                            lda,
-                            b_slice,
-                            b.rows(),
-                            b.cols(),
-                            ldb,
-                            0.0,
-                            panel,
-                            n,
-                        );
-                    }
-                    Transpose::Yes => {
-                        // op(A) rows correspond to columns of the stored A; there is
-                        // no contiguous row panel, so pack the panel explicitly.
-                        let mut packed = vec![0.0f64; nrows * k];
-                        for i in 0..nrows {
-                            for p in 0..k {
-                                packed[i * k + p] = a_slice[p * lda + (row0 + i)];
-                            }
-                        }
-                        gemm_slices(
-                            Transpose::No,
-                            tb,
-                            alpha,
-                            &packed,
-                            nrows,
-                            k,
-                            k,
-                            b_slice,
-                            b.rows(),
-                            b.cols(),
-                            ldb,
-                            0.0,
-                            panel,
-                            n,
-                        );
-                    }
-                }
-            });
-        }
-    });
-
-    c
+    let ctx = ExecContext::global().with_budget(threads);
+    gemm_ctx(&ctx, ta, tb, alpha, a, b)
 }
 
 /// Reference (naive triple-loop) GEMM used by tests to validate the blocked kernel.
@@ -453,6 +535,104 @@ mod tests {
             let par = par_gemm(Transpose::No, Transpose::No, 1.0, &a, &b, threads);
             assert_close(&par, &seq, 1e-10);
         }
+    }
+
+    #[test]
+    fn par_gemm_row_count_boundary_is_seamless() {
+        // Satellite guard for the pool cutover: straddle the historical
+        // `m < 2*threads` fallback boundary and require *exact* equality with
+        // the sequential kernel on both sides, so changing which path runs
+        // can never silently change results.
+        let mut rng = StdRng::seed_from_u64(40);
+        let threads = 4;
+        for m in [
+            PAR_MIN_ROWS_PER_THREAD * threads - 1, // fallback side
+            PAR_MIN_ROWS_PER_THREAD * threads,     // pool side
+        ] {
+            // Keep the work term above PAR_MIN_WORK so only `m` decides.
+            let (k, n) = (160, 100);
+            assert!(m * k * n >= PAR_MIN_WORK);
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let par = par_gemm(Transpose::No, Transpose::No, 1.0, &a, &b, threads);
+            let seq = gemm(Transpose::No, Transpose::No, 1.0, &a, &b);
+            assert_eq!(par.as_slice(), seq.as_slice(), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn par_gemm_work_boundary_is_seamless() {
+        // Same guard across the `m·n·k < 1<<16` work fallback: 32·32·63 sits
+        // just below the threshold, 32·32·64 exactly on it.
+        let mut rng = StdRng::seed_from_u64(41);
+        for k in [63usize, 64] {
+            let (m, n) = (32, 32);
+            assert_eq!(m * n * 64, PAR_MIN_WORK);
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let par = par_gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 4);
+            let seq = gemm(Transpose::No, Transpose::No, 1.0, &a, &b);
+            assert_eq!(par.as_slice(), seq.as_slice(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn par_gemm_single_thread_falls_back() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = random_matrix(&mut rng, 50, 50);
+        let b = random_matrix(&mut rng, 50, 50);
+        let par = par_gemm(Transpose::No, Transpose::No, 2.0, &a, &b, 1);
+        let seq = gemm(Transpose::No, Transpose::No, 2.0, &a, &b);
+        assert_eq!(par.as_slice(), seq.as_slice());
+    }
+
+    #[test]
+    fn ctx_gemm_is_bit_identical_for_every_transpose_and_thread_count() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for threads in [1usize, 2, 4, 9] {
+            let ctx = tucker_exec::ExecContext::new(threads);
+            for &(m, k, n) in &[(33usize, 65usize, 17usize), (70, 129, 40)] {
+                for &ta in &[Transpose::No, Transpose::Yes] {
+                    for &tb in &[Transpose::No, Transpose::Yes] {
+                        let (ar, ac) = match ta {
+                            Transpose::No => (m, k),
+                            Transpose::Yes => (k, m),
+                        };
+                        let (br, bc) = match tb {
+                            Transpose::No => (k, n),
+                            Transpose::Yes => (n, k),
+                        };
+                        let a = random_matrix(&mut rng, ar, ac);
+                        let b = random_matrix(&mut rng, br, bc);
+                        let pooled = gemm_ctx(&ctx, ta, tb, 1.3, &a, &b);
+                        let seq = gemm(ta, tb, 1.3, &a, &b);
+                        assert_eq!(pooled.as_slice(), seq.as_slice());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ctx_gemm_into_respects_beta_across_panels() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let ctx = tucker_exec::ExecContext::new(4);
+        let a = random_matrix(&mut rng, 64, 70);
+        let b = random_matrix(&mut rng, 70, 48);
+        let mut c_par = random_matrix(&mut rng, 64, 48);
+        let mut c_seq = c_par.clone();
+        gemm_into_ctx(
+            &ctx,
+            Transpose::No,
+            Transpose::No,
+            1.5,
+            &a,
+            &b,
+            0.25,
+            &mut c_par,
+        );
+        gemm_into(Transpose::No, Transpose::No, 1.5, &a, &b, 0.25, &mut c_seq);
+        assert_eq!(c_par.as_slice(), c_seq.as_slice());
     }
 
     #[test]

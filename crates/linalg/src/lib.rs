@@ -29,11 +29,11 @@ pub mod syrk;
 
 pub use blas1::{axpy, dot, nrm2, scal};
 pub use eig::{sym_eig, sym_eig_desc, SymEig};
-pub use gemm::{gemm, gemm_into, par_gemm, Transpose};
+pub use gemm::{gemm, gemm_ctx, gemm_into, gemm_into_ctx, gemm_slices_ctx, par_gemm, Transpose};
 pub use matrix::Matrix;
 pub use qr::{householder_qr, QrFactors};
 pub use svd::{jacobi_svd, Svd};
-pub use syrk::{par_syrk, syrk, syrk_into};
+pub use syrk::{par_syrk, syrk, syrk_ctx, syrk_into, syrk_rows_slices, triangular_scatter_mirror};
 
 /// Machine-epsilon-scale tolerance used by iterative kernels in this crate.
 pub const EPS: f64 = f64::EPSILON;

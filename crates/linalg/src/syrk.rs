@@ -5,8 +5,9 @@
 //! so it gets a dedicated symmetric kernel that only computes the lower
 //! triangle and mirrors it, roughly halving the flops compared to a plain GEMM.
 
-use crate::gemm::{gemm_slices, Transpose};
 use crate::matrix::Matrix;
+use std::ops::Range;
+use tucker_exec::{triangle_row_chunks, ExecContext};
 
 /// Computes `A · Aᵀ` for a row-major `m × k` slice `a` with leading dimension
 /// `lda`, accumulating into the row-major `m × m` slice `c` (leading dimension
@@ -96,58 +97,99 @@ pub fn syrk_into(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
     );
 }
 
-/// Thread-parallel `A·Aᵀ`: splits the rows of the result across `threads`
-/// scoped threads. Each worker computes full rows of the product (via GEMM of
-/// its row panel against `Aᵀ`), so no mirroring step is needed.
+/// Accumulates the **lower-triangle rows** `rows` of `alpha · A·Aᵀ` into a
+/// row panel `c_panel` whose first row corresponds to global row
+/// `rows.start` (leading dimension `ldc`). No mirroring is performed.
+///
+/// This is the scatter unit of the pool-backed Gram kernels: disjoint row
+/// ranges touch disjoint panel slices, and each element `c[i][j]` receives
+/// exactly the same `dot(a_i, a_j)` the sequential [`syrk_slices`] computes,
+/// so triangular row-parallelism is bit-identical to the sequential kernel.
+pub fn syrk_rows_slices(
+    alpha: f64,
+    a: &[f64],
+    k: usize,
+    lda: usize,
+    rows: Range<usize>,
+    c_panel: &mut [f64],
+    ldc: usize,
+) {
+    let row0 = rows.start;
+    if rows.is_empty() {
+        return;
+    }
+    assert!(
+        a.len() >= (rows.end - 1) * lda + k,
+        "syrk_rows: A slice too short"
+    );
+    assert!(
+        c_panel.len() >= (rows.end - 1 - row0) * ldc + rows.end,
+        "syrk_rows: C panel too short"
+    );
+    for i in rows {
+        let arow_i = &a[i * lda..i * lda + k];
+        let crow = &mut c_panel[(i - row0) * ldc..(i - row0) * ldc + i + 1];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let arow_j = &a[j * lda..j * lda + k];
+            *cv += alpha * crate::blas1::dot(arow_i, arow_j);
+        }
+    }
+}
+
+/// Scatters area-balanced lower-triangle row ranges of an `m × m` matrix
+/// (leading dimension `ldc`) across `ctx`, runs `fill(rows, panel)` on each
+/// disjoint row panel, then mirrors the strict upper triangle once. `fill`
+/// must write only columns `0..=i` of each row `i` — the shared scatter
+/// skeleton of every pool-backed symmetric Gram kernel, kept in one place so
+/// the determinism-critical balance/mirror logic cannot diverge.
+pub fn triangular_scatter_mirror<F>(
+    ctx: &ExecContext,
+    c: &mut [f64],
+    m: usize,
+    ldc: usize,
+    parts: usize,
+    fill: F,
+) where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    ctx.for_each_row_panel(c, ldc, triangle_row_chunks(m, parts), fill);
+    for i in 0..m {
+        for j in i + 1..m {
+            c[i * ldc + j] = c[j * ldc + i];
+        }
+    }
+}
+
+/// Pool-backed `A·Aᵀ`: scatters balanced lower-triangle row ranges onto the
+/// threads of `ctx`, then mirrors once. Bit-identical to [`syrk`] for every
+/// thread count.
+pub fn syrk_ctx(ctx: &ExecContext, a: &Matrix) -> Matrix {
+    let m = a.rows();
+    let k = a.cols();
+    let mut c = Matrix::zeros(m, m);
+    let parts = ctx.partition_for_work(m, m * m * k / 2);
+    if parts <= 1 {
+        syrk_into(1.0, a, 0.0, &mut c);
+        return c;
+    }
+    let lda = a.cols();
+    let a_slice = a.as_slice();
+    triangular_scatter_mirror(ctx, c.as_mut_slice(), m, m, parts, |rows, panel| {
+        syrk_rows_slices(1.0, a_slice, k, lda, rows, panel, m);
+    });
+    c
+}
+
+/// Thread-parallel `A·Aᵀ` over up to `threads` workers of the **shared
+/// process pool** (no threads are spawned per call). Thin wrapper over
+/// [`syrk_ctx`] preserving the historical small-size fallbacks.
 pub fn par_syrk(a: &Matrix, threads: usize) -> Matrix {
     let m = a.rows();
     let k = a.cols();
     if threads <= 1 || m < 2 * threads || m * m * k < 1 << 16 {
         return syrk(a);
     }
-    let mut c = Matrix::zeros(m, m);
-    let rows_per = m.div_ceil(threads);
-    let a_slice = a.as_slice();
-    let lda = a.cols();
-
-    let mut panels: Vec<(usize, &mut [f64])> = Vec::new();
-    {
-        let mut rest = c.as_mut_slice();
-        let mut row = 0usize;
-        while row < m {
-            let take = rows_per.min(m - row);
-            let (head, tail) = rest.split_at_mut(take * m);
-            panels.push((row, head));
-            rest = tail;
-            row += take;
-        }
-    }
-
-    std::thread::scope(|scope| {
-        for (row0, panel) in panels {
-            let nrows = panel.len() / m;
-            scope.spawn(move || {
-                gemm_slices(
-                    Transpose::No,
-                    Transpose::Yes,
-                    1.0,
-                    &a_slice[row0 * lda..],
-                    nrows,
-                    k,
-                    lda,
-                    a_slice,
-                    m,
-                    k,
-                    lda,
-                    0.0,
-                    panel,
-                    m,
-                );
-            });
-        }
-    });
-
-    c
+    syrk_ctx(&ExecContext::global().with_budget(threads), a)
 }
 
 #[cfg(test)]

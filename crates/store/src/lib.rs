@@ -58,7 +58,9 @@ pub mod writer;
 pub use codec::Codec;
 pub use format::{TkrHeader, TkrMetadata};
 pub use reader::TkrArtifact;
-pub use writer::{gather_and_write, write_tucker, EncodeReport, StoreOptions, TkrWriter};
+pub use writer::{
+    gather_and_write, write_tucker, write_tucker_ctx, EncodeReport, StoreOptions, TkrWriter,
+};
 
 #[cfg(test)]
 mod tests {

@@ -10,12 +10,14 @@
 //! `O(N·∏R_n)` — the laptop-scale analysis workflow the paper motivates in
 //! Secs. II-C and VII.
 
+use crate::codec::Codec;
 use crate::format::{invalid, read_u32, read_u64, TkrHeader, TAG_CORE_CHUNK, TAG_END, TAG_FACTOR};
 use std::fs::File;
 use std::io::{self, BufReader, Read};
 use std::path::Path;
 use tucker_core::reconstruct::{reconstruct_element, reconstruct_slice, reconstruct_subtensor};
 use tucker_core::TuckerTensor;
+use tucker_exec::ExecContext;
 use tucker_linalg::Matrix;
 use tucker_tensor::{DenseTensor, SubtensorSpec};
 
@@ -28,8 +30,16 @@ pub struct TkrArtifact {
 }
 
 impl TkrArtifact {
-    /// Opens and fully validates an artifact.
+    /// Opens and fully validates an artifact (decoding on the global pool).
     pub fn open(path: impl AsRef<Path>) -> io::Result<TkrArtifact> {
+        TkrArtifact::open_ctx(path, ExecContext::global())
+    }
+
+    /// [`TkrArtifact::open`] on an explicit execution context: the scan pass
+    /// reads and validates the framing sequentially, then the buffered core
+    /// chunk payloads are codec-decoded in parallel into disjoint ranges of
+    /// the core. Decoded values are bit-identical for every thread count.
+    pub fn open_ctx(path: impl AsRef<Path>, ctx: &ExecContext) -> io::Result<TkrArtifact> {
         let file = File::open(&path)?;
         let file_bytes = file.metadata()?.len();
         let mut r = BufReader::new(file);
@@ -57,6 +67,13 @@ impl TkrArtifact {
 
         let mut factors: Vec<Option<Matrix>> = vec![None; ndims];
         let mut core_data = vec![0.0f64; core_total];
+        // Raw (still encoded) core chunk payloads awaiting decode. Decoding
+        // happens in bounded waves of a few chunks per pool thread, so the
+        // scan never holds more than one wave of encoded payloads on top of
+        // the decoded core (the old chunk-at-a-time memory profile).
+        let wave = crate::writer::codec_wave_chunks(ctx);
+        let mut pending: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut decoded_upto = 0usize;
         let mut core_filled = 0usize;
         let mut saw_end = false;
 
@@ -107,9 +124,13 @@ impl TkrArtifact {
                     if len > core_total - start {
                         return Err(invalid("core chunk overruns the core"));
                     }
-                    let values = codec.decode_block(&mut r, len)?;
-                    core_data[start..start + len].copy_from_slice(&values);
+                    let mut payload = vec![0u8; codec.block_bytes(len)];
+                    r.read_exact(&mut payload)?;
+                    pending.push((len, payload));
                     core_filled += len;
+                    if pending.len() >= wave {
+                        decode_wave(codec, ctx, &mut pending, &mut core_data, &mut decoded_upto);
+                    }
                 }
                 TAG_END => {
                     let declared = read_u64(&mut r)? as usize;
@@ -128,6 +149,8 @@ impl TkrArtifact {
                 "core incomplete: {core_filled} of {core_total} elements"
             )));
         }
+        decode_wave(codec, ctx, &mut pending, &mut core_data, &mut decoded_upto);
+        debug_assert_eq!(decoded_upto, core_total);
         let factors: Vec<Matrix> = factors
             .into_iter()
             .enumerate()
@@ -206,4 +229,35 @@ impl TkrArtifact {
     pub fn element(&self, idx: &[usize]) -> f64 {
         reconstruct_element(&self.tucker, idx)
     }
+}
+
+/// Decodes one wave of buffered core-chunk payloads in parallel into the
+/// consecutive core range starting at `*decoded_upto`, draining `pending`.
+/// Chunks were validated to be contiguous during the scan, so pairing each
+/// with its disjoint slice in arrival order is exact; the exactly-sized
+/// payload buffers make in-memory decoding infallible.
+fn decode_wave(
+    codec: Codec,
+    ctx: &ExecContext,
+    pending: &mut Vec<(usize, Vec<u8>)>,
+    core_data: &mut [f64],
+    decoded_upto: &mut usize,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let mut slots: Vec<((usize, Vec<u8>), &mut [f64])> = Vec::with_capacity(pending.len());
+    let mut rest = &mut core_data[*decoded_upto..];
+    for (len, payload) in pending.drain(..) {
+        let (dst, tail) = rest.split_at_mut(len);
+        rest = tail;
+        *decoded_upto += len;
+        slots.push(((len, payload), dst));
+    }
+    ctx.for_each_slot(&mut slots, |_, ((len, payload), dst)| {
+        let decoded = codec
+            .decode_block(&mut io::Cursor::new(&payload[..]), *len)
+            .expect("in-memory decode of an exactly-sized payload cannot fail");
+        dst.copy_from_slice(&decoded);
+    });
 }

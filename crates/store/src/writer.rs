@@ -34,11 +34,23 @@ use std::path::Path;
 use tucker_core::dist::DistTucker;
 use tucker_core::TuckerTensor;
 use tucker_distmem::Communicator;
+use tucker_exec::ExecContext;
 use tucker_linalg::Matrix;
 
 /// Target elements per core chunk used by [`write_tucker`] (whole slabs are
 /// never split, so actual chunks may be larger when one slab exceeds this).
 const CHUNK_TARGET_ELEMS: usize = 1 << 16;
+
+/// Chunks per pool thread that a parallel encode/decode wave holds in memory
+/// at once (bounds peak memory while keeping every thread busy).
+const WAVE_CHUNKS_PER_THREAD: usize = 4;
+
+/// How many core chunks one parallel codec wave processes on `ctx` — the
+/// single sizing policy shared by the writer's encode waves and the
+/// reader's decode waves, so their memory profiles stay in lockstep.
+pub(crate) fn codec_wave_chunks(ctx: &ExecContext) -> usize {
+    ctx.threads() * WAVE_CHUNKS_PER_THREAD
+}
 
 /// Encoding options for writing an artifact.
 #[derive(Debug, Clone)]
@@ -214,6 +226,79 @@ impl<W: Write + Seek> TkrWriter<W> {
         Ok(())
     }
 
+    /// Writes a run of core chunks, encoding their payloads **in parallel**
+    /// on `ctx` before streaming them out in order. Byte-for-byte identical
+    /// to calling [`TkrWriter::write_core_chunk`] on each chunk in turn (the
+    /// framing, the per-block quantization scales, and the error accounting
+    /// all depend only on per-chunk data and the fixed chunk order).
+    ///
+    /// Encoding proceeds in bounded **waves** of a few chunks per pool
+    /// thread, each wave written out before the next is encoded — peak
+    /// memory stays at a handful of encoded chunks, preserving the streaming
+    /// rationale of this writer even for cores much larger than RAM headroom.
+    pub fn write_core_chunks_ctx(
+        &mut self,
+        chunks: &[&[f64]],
+        ctx: &ExecContext,
+    ) -> io::Result<()> {
+        // Validate every chunk up front with the same rules as the
+        // sequential path, so a bad chunk cannot leave earlier ones written.
+        let mut start = self.core_elems_written;
+        let mut starts = Vec::with_capacity(chunks.len());
+        for slab in chunks {
+            assert!(
+                !slab.is_empty() && slab.len() % self.slab_stride == 0,
+                "write_core_chunk: chunk of {} elements is not a whole number of last-mode slabs (stride {})",
+                slab.len(),
+                self.slab_stride
+            );
+            assert!(
+                start + slab.len() <= self.core_total,
+                "write_core_chunk: overruns the {}-element core",
+                self.core_total
+            );
+            starts.push(start);
+            start += slab.len();
+        }
+
+        let codec = self.header.codec;
+        let wave = codec_wave_chunks(ctx);
+        let mut base = 0usize;
+        while base < chunks.len() {
+            let batch = &chunks[base..(base + wave).min(chunks.len())];
+            let batch_starts = &starts[base..base + batch.len()];
+
+            // Encode this wave's framed blocks off-stream; one slot per chunk.
+            let mut encoded: Vec<(Vec<u8>, f64, f64)> =
+                batch.iter().map(|_| Default::default()).collect();
+            ctx.for_each_slot(&mut encoded, |i, slot| {
+                let slab = batch[i];
+                let mut block = Vec::with_capacity(17 + codec.block_bytes(slab.len()));
+                block.push(TAG_CORE_CHUNK);
+                write_u64(&mut block, batch_starts[i] as u64).expect("Vec write is infallible");
+                write_u64(&mut block, slab.len() as u64).expect("Vec write is infallible");
+                let sq_err = codec
+                    .encode_block(&mut block, slab)
+                    .expect("Vec write is infallible");
+                let norm_sq = slab.iter().map(|&v| v * v).sum::<f64>();
+                *slot = (block, sq_err, norm_sq);
+            });
+
+            // Stream the wave and fold the accounting in chunk order, so the
+            // on-disk bytes and the accumulated error sums match the
+            // sequential path exactly.
+            for ((block, sq_err, norm_sq), slab) in encoded.iter().zip(batch) {
+                self.w.write_all(block)?;
+                self.bytes += block.len() as u64;
+                self.core_sq_err += sq_err;
+                self.core_norm_sq += norm_sq;
+                self.core_elems_written += slab.len();
+            }
+            base += batch.len();
+        }
+        Ok(())
+    }
+
     /// Writes the end marker, patches the quantization-error bound into the
     /// header, flushes, and reports what was encoded.
     ///
@@ -265,11 +350,23 @@ impl<W: Write + Seek> TkrWriter<W> {
 }
 
 /// Writes an in-memory Tucker decomposition to `path`, streaming the core in
-/// bounded chunks of whole last-mode slabs.
+/// bounded chunks of whole last-mode slabs (encoded on the global pool).
 pub fn write_tucker(
     path: impl AsRef<Path>,
     t: &TuckerTensor,
     opts: &StoreOptions,
+) -> io::Result<EncodeReport> {
+    write_tucker_ctx(path, t, opts, ExecContext::global())
+}
+
+/// [`write_tucker`] on an explicit execution context: core chunks are
+/// codec-encoded in parallel, then written in order — the produced file is
+/// byte-identical for every thread count.
+pub fn write_tucker_ctx(
+    path: impl AsRef<Path>,
+    t: &TuckerTensor,
+    opts: &StoreOptions,
+    ctx: &ExecContext,
 ) -> io::Result<EncodeReport> {
     let header = TkrHeader {
         dims: t.original_dims(),
@@ -286,12 +383,14 @@ pub fn write_tucker(
     let stride = t.core.last_mode_stride().max(1);
     let last = *t.core.dims().last().expect("core has at least one mode");
     let slabs_per_chunk = (CHUNK_TARGET_ELEMS / stride).max(1);
+    let mut chunks = Vec::with_capacity(last.div_ceil(slabs_per_chunk.max(1)));
     let mut s = 0;
     while s < last {
         let len = slabs_per_chunk.min(last - s);
-        w.write_core_chunk(t.core.last_mode_slab(s, len))?;
+        chunks.push(t.core.last_mode_slab(s, len));
         s += len;
     }
+    w.write_core_chunks_ctx(&chunks, ctx)?;
     w.finish()
 }
 

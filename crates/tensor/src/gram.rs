@@ -9,22 +9,41 @@
 
 use crate::dense::DenseTensor;
 use crate::layout::Unfolding;
-use tucker_linalg::gemm::{gemm_slices, Transpose};
-use tucker_linalg::syrk::syrk_slices;
+use tucker_exec::{chunk_ranges, ExecContext};
+use tucker_linalg::gemm::{gemm_slices, gemm_slices_ctx, Transpose};
+use tucker_linalg::syrk::{syrk_rows_slices, syrk_slices, triangular_scatter_mirror};
 use tucker_linalg::Matrix;
 
 /// Computes the symmetric Gram matrix `S = Y(n) Y(n)ᵀ` of size `I_n × I_n`.
 pub fn gram(y: &DenseTensor, mode: usize) -> Matrix {
+    gram_ctx(ExecContext::global(), y, mode)
+}
+
+/// [`gram`] on an explicit execution context.
+pub fn gram_ctx(ctx: &ExecContext, y: &DenseTensor, mode: usize) -> Matrix {
     let dims = y.dims();
     assert!(mode < dims.len(), "gram: mode {mode} out of range");
     let n = dims[mode];
     let mut s = Matrix::zeros(n, n);
-    gram_into(y, mode, &mut s);
+    gram_into_ctx(ctx, y, mode, &mut s);
     s
 }
 
 /// Accumulating variant: `S ← Y(n) Y(n)ᵀ` written into a preallocated matrix.
 pub fn gram_into(y: &DenseTensor, mode: usize, s: &mut Matrix) {
+    gram_into_ctx(ExecContext::global(), y, mode, s)
+}
+
+/// [`gram_into`] on an explicit execution context.
+///
+/// Parallelism: the first mode is one large transposed GEMM scattered over
+/// row panels of `S`; general modes scatter **area-balanced lower-triangle
+/// row ranges** of `S` via [`triangular_scatter_mirror`] — every thread
+/// walks all blocks in the same ascending order and owns its rows
+/// exclusively, then the strict upper triangle is mirrored once. Each
+/// element of `S` accumulates in exactly the sequential order, so results
+/// are bit-identical across thread counts.
+pub fn gram_into_ctx(ctx: &ExecContext, y: &DenseTensor, mode: usize, s: &mut Matrix) {
     let dims = y.dims();
     let n = dims[mode];
     assert_eq!(s.shape(), (n, n), "gram_into: output must be I_n × I_n");
@@ -41,7 +60,8 @@ pub fn gram_into(y: &DenseTensor, mode: usize, s: &mut Matrix) {
         // First mode: the whole buffer is a column-major I_n × Î_n matrix,
         // i.e. a row-major Î_n × I_n matrix D, and S = Dᵀ·D — one blocked GEMM.
         let cols = unf.cols();
-        gemm_slices(
+        gemm_slices_ctx(
+            ctx,
             Transpose::Yes,
             Transpose::No,
             1.0,
@@ -60,14 +80,28 @@ pub fn gram_into(y: &DenseTensor, mode: usize, s: &mut Matrix) {
         return;
     }
 
-    // General mode: accumulate a SYRK per contiguous subblock. Each block is a
-    // row-major I_n × left matrix with leading dimension `left`.
+    // General mode: accumulate one SYRK contribution per contiguous subblock
+    // (each block is a row-major I_n × left matrix with leading dimension
+    // `left`).
     s.as_mut_slice().fill(0.0);
     let left = unf.left;
-    for t in 0..unf.right {
-        let block = unf.block(data, t);
-        syrk_slices(1.0, block, n, left, left, 1.0, s.as_mut_slice(), ldc);
+    let right = unf.right;
+    let work = right.saturating_mul(left).saturating_mul(n * (n + 1) / 2);
+    let parts = ctx.partition_for_work(n, work);
+    if parts <= 1 {
+        for t in 0..right {
+            let block = unf.block(data, t);
+            syrk_slices(1.0, block, n, left, left, 1.0, s.as_mut_slice(), ldc);
+        }
+        return;
     }
+
+    triangular_scatter_mirror(ctx, s.as_mut_slice(), n, ldc, parts, |rows, panel| {
+        for t in 0..right {
+            let block = unf.block(data, t);
+            syrk_rows_slices(1.0, block, left, left, rows.clone(), panel, ldc);
+        }
+    });
 }
 
 /// Computes the *non-symmetric* Gram pair `Y(n) · W(n)ᵀ` for two tensors of the
@@ -75,6 +109,13 @@ pub fn gram_into(y: &DenseTensor, mode: usize, s: &mut Matrix) {
 /// multiplies its own unfolded block with a block received from another
 /// processor in the same mode-n processor "column".
 pub fn gram_pair(y: &DenseTensor, w: &DenseTensor, mode: usize) -> Matrix {
+    gram_pair_ctx(ExecContext::global(), y, w, mode)
+}
+
+/// [`gram_pair`] on an explicit execution context: scatters row ranges of
+/// the `ny × nw` result, each thread walking all blocks in ascending order,
+/// so results are bit-identical across thread counts.
+pub fn gram_pair_ctx(ctx: &ExecContext, y: &DenseTensor, w: &DenseTensor, mode: usize) -> Matrix {
     // The two tensors must agree in every mode except possibly the unfolding
     // mode itself: the distributed Gram (Alg. 4) exchanges local blocks whose
     // mode-n extents can differ by one when P_n does not divide I_n evenly.
@@ -101,7 +142,8 @@ pub fn gram_pair(y: &DenseTensor, w: &DenseTensor, mode: usize) -> Matrix {
 
     if unf_y.left == 1 {
         let cols = unf_y.cols();
-        gemm_slices(
+        gemm_slices_ctx(
+            ctx,
             Transpose::Yes,
             Transpose::No,
             1.0,
@@ -121,27 +163,41 @@ pub fn gram_pair(y: &DenseTensor, w: &DenseTensor, mode: usize) -> Matrix {
     }
 
     let left = unf_y.left;
-    for t in 0..unf_y.right {
-        let yb = unf_y.block(ydata, t);
-        let wb = unf_w.block(wdata, t);
-        // S += Y_block (ny × left, row-major) · W_blockᵀ
-        gemm_slices(
-            Transpose::No,
-            Transpose::Yes,
-            1.0,
-            yb,
-            ny,
-            left,
-            left,
-            wb,
-            nw,
-            left,
-            left,
-            1.0,
-            s.as_mut_slice(),
-            ldc,
-        );
+    let right = unf_y.right;
+    // S += Y_block (ny × left, row-major) · W_blockᵀ, per block, accumulated
+    // over one row range of S per thread.
+    let block_pair = |rows: std::ops::Range<usize>, panel: &mut [f64]| {
+        for t in 0..right {
+            let yb = unf_y.block(ydata, t);
+            let wb = unf_w.block(wdata, t);
+            gemm_slices(
+                Transpose::No,
+                Transpose::Yes,
+                1.0,
+                &yb[rows.start * left..],
+                rows.len(),
+                left,
+                left,
+                wb,
+                nw,
+                left,
+                left,
+                1.0,
+                panel,
+                ldc,
+            );
+        }
+    };
+    let work = right
+        .saturating_mul(left)
+        .saturating_mul(ny)
+        .saturating_mul(nw);
+    let parts = ctx.partition_for_work(ny, work);
+    if parts <= 1 {
+        block_pair(0..ny, s.as_mut_slice());
+        return s;
     }
+    ctx.for_each_row_panel(s.as_mut_slice(), ldc, chunk_ranges(ny, parts), &block_pair);
     s
 }
 
@@ -237,6 +293,39 @@ mod tests {
             let wm = Unfolding::new(&dims, mode).materialize(&w);
             let expected = tucker_linalg::gemm::gemm(Transpose::No, Transpose::Yes, 1.0, &ym, &wm);
             assert_matrix_close(&s, &expected, 1e-10);
+        }
+    }
+
+    #[test]
+    fn gram_is_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(66);
+        // Large enough that every mode clears the parallel work threshold.
+        let y = random_tensor(&mut rng, &[21, 23, 19, 3]);
+        let seq = tucker_exec::ExecContext::new(1);
+        for mode in 0..4 {
+            let baseline = gram_ctx(&seq, &y, mode);
+            for threads in [2usize, 4, 16] {
+                let ctx = tucker_exec::ExecContext::new(threads);
+                let s = gram_ctx(&ctx, &y, mode);
+                assert_eq!(s.as_slice(), baseline.as_slice(), "mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_pair_is_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(67);
+        let dims = [18usize, 17, 23];
+        let y = random_tensor(&mut rng, &dims);
+        let w = random_tensor(&mut rng, &dims);
+        let seq = tucker_exec::ExecContext::new(1);
+        for mode in 0..3 {
+            let baseline = gram_pair_ctx(&seq, &y, &w, mode);
+            for threads in [3usize, 8] {
+                let ctx = tucker_exec::ExecContext::new(threads);
+                let s = gram_pair_ctx(&ctx, &y, &w, mode);
+                assert_eq!(s.as_slice(), baseline.as_slice(), "mode {mode}");
+            }
         }
     }
 

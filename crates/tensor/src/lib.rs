@@ -23,8 +23,11 @@ pub mod slice;
 pub mod ttm;
 
 pub use dense::DenseTensor;
-pub use gram::{gram, gram_pair};
+pub use gram::{gram, gram_ctx, gram_into, gram_into_ctx, gram_pair, gram_pair_ctx};
 pub use layout::Unfolding;
 pub use norms::{frob_norm, max_abs_diff, normalized_rms_error, relative_error};
 pub use slice::{extract_subtensor, SubtensorSpec};
-pub use ttm::{multi_ttm, ttm, ttm_chain, TtmTranspose};
+pub use ttm::{
+    multi_ttm, multi_ttm_ctx, ttm, ttm_chain, ttm_chain_ctx, ttm_ctx, ttm_into, ttm_into_ctx,
+    TtmTranspose,
+};

@@ -9,8 +9,18 @@
 
 use crate::dense::DenseTensor;
 use crate::layout::Unfolding;
-use tucker_linalg::gemm::{gemm_slices, Transpose};
+use std::ops::Range;
+use tucker_exec::{chunk_ranges, ExecContext};
+use tucker_linalg::gemm::{gemm_slices, gemm_slices_ctx, Transpose};
 use tucker_linalg::Matrix;
+
+/// `left` widths below this use the fused batch path: the `left == 1` trick
+/// generalized, gluing runs of tiny per-block GEMMs into one wide GEMM.
+const FUSE_MAX_LEFT: usize = 32;
+
+/// Target column count of a fused GEMM (the batch size is
+/// `FUSE_TARGET_COLS / left`, at least 2 blocks).
+const FUSE_TARGET_COLS: usize = 256;
 
 /// Whether the multiplying matrix is applied as stored or transposed.
 ///
@@ -35,6 +45,18 @@ pub enum TtmTranspose {
 /// # Panics
 /// Panics if the matrix dimensions are incompatible with mode `n` of `X`.
 pub fn ttm(x: &DenseTensor, v: &Matrix, mode: usize, trans: TtmTranspose) -> DenseTensor {
+    ttm_ctx(ExecContext::global(), x, v, mode, trans)
+}
+
+/// [`ttm`] on an explicit execution context (hybrid runs hand each simulated
+/// rank a budget-limited context; everything else uses the global one).
+pub fn ttm_ctx(
+    ctx: &ExecContext,
+    x: &DenseTensor,
+    v: &Matrix,
+    mode: usize,
+    trans: TtmTranspose,
+) -> DenseTensor {
     let dims = x.dims();
     assert!(mode < dims.len(), "ttm: mode {mode} out of range");
     let in_dim = dims[mode];
@@ -55,14 +77,36 @@ pub fn ttm(x: &DenseTensor, v: &Matrix, mode: usize, trans: TtmTranspose) -> Den
         return y;
     }
 
-    ttm_into(x, v, mode, trans, &mut y);
+    ttm_into_ctx(ctx, x, v, mode, trans, &mut y);
     y
 }
 
 /// In-place variant of [`ttm`]: writes the result into a preallocated tensor
-/// whose dimensions must already be correct. Used by the distributed kernels
-/// to avoid repeated allocation inside the blocked loop of Alg. 3.
+/// whose dimensions must already be correct (every element of `y` is
+/// overwritten). Used by the distributed kernels and the workspace-reusing
+/// HOOI loop to avoid repeated allocation.
 pub fn ttm_into(
+    x: &DenseTensor,
+    v: &Matrix,
+    mode: usize,
+    trans: TtmTranspose,
+    y: &mut DenseTensor,
+) {
+    ttm_into_ctx(ExecContext::global(), x, v, mode, trans, y)
+}
+
+/// [`ttm_into`] on an explicit execution context.
+///
+/// Parallelism: the first mode is one large GEMM scattered over row panels;
+/// every other mode scatters contiguous ranges of the `right` block loop,
+/// each range writing its own disjoint slice of `y`. Narrow blocks
+/// (`left < `[`FUSE_MAX_LEFT`]) are additionally **fused**: runs of tiny
+/// per-block GEMMs are packed into one GEMM of ~[`FUSE_TARGET_COLS`] columns
+/// (the `left == 1` trick generalized). Neither choice changes the
+/// per-element accumulation order, so results are bit-identical across
+/// thread counts and across the fused/unfused boundary.
+pub fn ttm_into_ctx(
+    ctx: &ExecContext,
     x: &DenseTensor,
     v: &Matrix,
     mode: usize,
@@ -106,7 +150,8 @@ pub fn ttm_into(
         // product is a single large GEMM instead of `right` column-sized ones:
         //   Y(1)ᵀ (Î₁ × K, row-major) = X(1)ᵀ (Î₁ × I₁, row-major) · op(V)ᵀ.
         let cols = right;
-        gemm_slices(
+        gemm_slices_ctx(
+            ctx,
             Transpose::No,
             match ta {
                 Transpose::No => Transpose::Yes,
@@ -128,25 +173,118 @@ pub fn ttm_into(
         return;
     }
 
-    for t in 0..right {
-        let xin = &xdata[t * in_block..(t + 1) * in_block];
-        let yout = &mut ydata[t * out_block..(t + 1) * out_block];
+    let blocks = BlockMul {
+        v: v.as_slice(),
+        ta,
+        a_rows,
+        a_cols,
+        lda,
+        in_dim,
+        k,
+        left,
+        in_block,
+        out_block,
+    };
+    let work = right
+        .saturating_mul(k)
+        .saturating_mul(in_dim)
+        .saturating_mul(left);
+    let parts = ctx.partition_for_work(right, work);
+    if parts <= 1 {
+        blocks.run(xdata, ydata, 0..right);
+        return;
+    }
+    // Each range of `right` blocks is a "row panel" of width `out_block`.
+    ctx.for_each_row_panel(ydata, out_block, chunk_ranges(right, parts), |ts, chunk| {
+        blocks.run(xdata, chunk, ts)
+    });
+}
+
+/// The mode-`n` (n > 0) block multiply over a range of `right` blocks —
+/// the scatter unit of [`ttm_into_ctx`].
+struct BlockMul<'a> {
+    v: &'a [f64],
+    ta: Transpose,
+    a_rows: usize,
+    a_cols: usize,
+    lda: usize,
+    in_dim: usize,
+    k: usize,
+    left: usize,
+    in_block: usize,
+    out_block: usize,
+}
+
+impl BlockMul<'_> {
+    /// Multiplies blocks `ts` of `xdata` into `ychunk` (whose first element
+    /// corresponds to block `ts.start`).
+    fn run(&self, xdata: &[f64], ychunk: &mut [f64], ts: Range<usize>) {
+        let fuse = self.left < FUSE_MAX_LEFT && ts.len() > 1 && self.k > 0;
+        if fuse {
+            self.run_fused(xdata, ychunk, ts);
+        } else {
+            for t in ts.clone() {
+                let xin = &xdata[t * self.in_block..(t + 1) * self.in_block];
+                let yout = &mut ychunk
+                    [(t - ts.start) * self.out_block..(t + 1 - ts.start) * self.out_block];
+                self.gemm_one(xin, self.left, yout, self.left);
+            }
+        }
+    }
+
+    /// One `op(V) · blockᵀ` GEMM with explicit leading dimensions.
+    fn gemm_one(&self, b: &[f64], ldb: usize, c: &mut [f64], ldc: usize) {
         gemm_slices(
-            ta,
+            self.ta,
             Transpose::No,
             1.0,
-            v.as_slice(),
-            a_rows,
-            a_cols,
-            lda,
-            xin,
-            in_dim,
-            left,
-            left,
+            self.v,
+            self.a_rows,
+            self.a_cols,
+            self.lda,
+            b,
+            self.in_dim,
+            ldb,
+            ldb,
             0.0,
-            yout,
-            left,
+            c,
+            ldc,
         );
+    }
+
+    /// Fused path for narrow blocks: pack `gc` consecutive blocks side by
+    /// side into an `in_dim × (gc·left)` panel, multiply once, and scatter
+    /// the `k × (gc·left)` product back into the per-block output layout.
+    /// Per element this performs the identical sum (same contraction
+    /// blocking) as `gc` separate block GEMMs.
+    fn run_fused(&self, xdata: &[f64], ychunk: &mut [f64], ts: Range<usize>) {
+        let g_max = (FUSE_TARGET_COLS / self.left).max(2);
+        let w_max = g_max * self.left;
+        let mut pack = vec![0.0f64; self.in_dim * w_max];
+        let mut prod = vec![0.0f64; self.k * w_max];
+        let mut t0 = ts.start;
+        while t0 < ts.end {
+            let gc = g_max.min(ts.end - t0);
+            let w = gc * self.left;
+            for g in 0..gc {
+                let xin = &xdata[(t0 + g) * self.in_block..(t0 + g + 1) * self.in_block];
+                for i in 0..self.in_dim {
+                    pack[i * w + g * self.left..i * w + (g + 1) * self.left]
+                        .copy_from_slice(&xin[i * self.left..(i + 1) * self.left]);
+                }
+            }
+            self.gemm_one(&pack[..self.in_dim * w], w, &mut prod[..self.k * w], w);
+            for g in 0..gc {
+                let yout = &mut ychunk[(t0 + g - ts.start) * self.out_block
+                    ..(t0 + g + 1 - ts.start) * self.out_block];
+                for kk in 0..self.k {
+                    yout[kk * self.left..(kk + 1) * self.left].copy_from_slice(
+                        &prod[kk * w + g * self.left..kk * w + (g + 1) * self.left],
+                    );
+                }
+            }
+            t0 += gc;
+        }
     }
 }
 
@@ -162,6 +300,17 @@ pub fn multi_ttm(
     trans: TtmTranspose,
     order: &[usize],
 ) -> DenseTensor {
+    multi_ttm_ctx(ExecContext::global(), x, matrices, trans, order)
+}
+
+/// [`multi_ttm`] on an explicit execution context.
+pub fn multi_ttm_ctx(
+    ctx: &ExecContext,
+    x: &DenseTensor,
+    matrices: &[Option<&Matrix>],
+    trans: TtmTranspose,
+    order: &[usize],
+) -> DenseTensor {
     assert_eq!(
         matrices.len(),
         x.ndims(),
@@ -170,7 +319,7 @@ pub fn multi_ttm(
     let mut current = x.clone();
     for &n in order {
         if let Some(v) = matrices[n] {
-            current = ttm(&current, v, n, trans);
+            current = ttm_ctx(ctx, &current, v, n, trans);
         }
     }
     current
@@ -178,6 +327,16 @@ pub fn multi_ttm(
 
 /// Convenience wrapper: applies `op(V_n)` for every mode `n` in natural order.
 pub fn ttm_chain(x: &DenseTensor, matrices: &[&Matrix], trans: TtmTranspose) -> DenseTensor {
+    ttm_chain_ctx(ExecContext::global(), x, matrices, trans)
+}
+
+/// [`ttm_chain`] on an explicit execution context.
+pub fn ttm_chain_ctx(
+    ctx: &ExecContext,
+    x: &DenseTensor,
+    matrices: &[&Matrix],
+    trans: TtmTranspose,
+) -> DenseTensor {
     assert_eq!(
         matrices.len(),
         x.ndims(),
@@ -185,7 +344,7 @@ pub fn ttm_chain(x: &DenseTensor, matrices: &[&Matrix], trans: TtmTranspose) -> 
     );
     let opts: Vec<Option<&Matrix>> = matrices.iter().map(|m| Some(*m)).collect();
     let order: Vec<usize> = (0..x.ndims()).collect();
-    multi_ttm(x, &opts, trans, &order)
+    multi_ttm_ctx(ctx, x, &opts, trans, &order)
 }
 
 /// Reference TTM implemented directly from the definition
@@ -368,6 +527,51 @@ mod tests {
         let q = tucker_linalg::qr::householder_qr(&random_matrix(&mut rng, 6, 3)).q; // 6x3
         let y = ttm(&x, &q, 0, TtmTranspose::Transpose); // multiply by qᵀ (3x6)
         assert!(y.norm() <= x.norm() + 1e-12);
+    }
+
+    #[test]
+    fn fused_narrow_blocks_match_reference_elementwise() {
+        // Shapes whose interior modes have small `left` (the fused batch
+        // path) and enough `right` blocks to exercise group boundaries,
+        // including a final partial group.
+        let mut rng = StdRng::seed_from_u64(59);
+        for dims in [vec![2usize, 5, 97], vec![3, 4, 5, 13], vec![7, 3, 41]] {
+            let x = random_tensor(&mut rng, &dims);
+            for mode in 1..dims.len() {
+                for (trans, v) in [
+                    (
+                        TtmTranspose::NoTranspose,
+                        random_matrix(&mut rng, 6, dims[mode]),
+                    ),
+                    (
+                        TtmTranspose::Transpose,
+                        random_matrix(&mut rng, dims[mode], 6),
+                    ),
+                ] {
+                    let fast = ttm(&x, &v, mode, trans);
+                    let slow = ttm_reference(&x, &v, mode, trans);
+                    assert_tensor_close(&fast, &slow, 1e-11);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ttm_is_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(49);
+        // Large enough that interior modes clear the parallel work threshold.
+        let dims = [24usize, 20, 18, 16];
+        let x = random_tensor(&mut rng, &dims);
+        let seq = tucker_exec::ExecContext::new(1);
+        for mode in 0..dims.len() {
+            let v = random_matrix(&mut rng, 5, dims[mode]);
+            let baseline = ttm_ctx(&seq, &x, &v, mode, TtmTranspose::NoTranspose);
+            for threads in [2usize, 4, 16] {
+                let ctx = tucker_exec::ExecContext::new(threads);
+                let out = ttm_ctx(&ctx, &x, &v, mode, TtmTranspose::NoTranspose);
+                assert_eq!(out.as_slice(), baseline.as_slice(), "mode {mode}");
+            }
+        }
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! This crate exists so that examples, integration tests, and downstream users
 //! can depend on a single package and find every piece of the system:
 //!
+//! * [`exec`]    — the shared-pool execution layer: persistent thread pool,
+//!   [`ExecContext`](tucker_exec::ExecContext), reusable workspaces.
 //! * [`linalg`]  — dense linear algebra kernels (GEMM, SYRK, QR, eig, SVD).
 //! * [`tensor`]  — dense tensors, logical unfoldings, local TTM/Gram kernels.
 //! * [`distmem`] — the simulated distributed-memory runtime and α-β-γ cost model.
@@ -17,6 +19,7 @@
 
 pub use tucker_core as core;
 pub use tucker_distmem as distmem;
+pub use tucker_exec as exec;
 pub use tucker_linalg as linalg;
 pub use tucker_scidata as scidata;
 pub use tucker_store as store;
@@ -31,6 +34,7 @@ pub mod prelude {
     pub use tucker_distmem::{
         spmd, spmd_with_grid, Communicator, CostModel, MachineParams, ProcGrid,
     };
+    pub use tucker_exec::{ExecContext, Workspace};
     pub use tucker_linalg::Matrix;
     pub use tucker_scidata::{DatasetPreset, NoisyLowRank, SpectralDecay};
     pub use tucker_store::{

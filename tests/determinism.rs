@@ -1,0 +1,141 @@
+//! Determinism contract of the execution layer (ISSUE 3, `docs/ARCHITECTURE.md` §4).
+//!
+//! Every kernel routed through `tucker-exec` partitions only *output* index
+//! space and keeps the sequential per-element accumulation order, so the
+//! decompositions must be **bit-identical** — not merely close — for every
+//! thread count: 1 thread, a small pool, and an oversubscribed pool (more
+//! threads than this machine has cores). These properties sweep random odd
+//! shapes and all modes through TTM, Gram, ST-HOSVD, and HOOI, comparing raw
+//! `f64` slices with exact equality.
+
+use proptest::prelude::*;
+use tucker_core::hooi::HooiOptions;
+use tucker_core::sthosvd::SthosvdOptions;
+use tucker_core::{hooi_ctx, st_hosvd_ctx};
+use tucker_exec::ExecContext;
+use tucker_linalg::Matrix;
+use tucker_tensor::{gram_ctx, ttm_ctx, DenseTensor, TtmTranspose};
+
+/// Pools under test: sequential, a small pool, and an oversubscribed pool
+/// (32 threads is far more than the CI machines have cores).
+const THREAD_COUNTS: [usize; 2] = [4, 32];
+
+/// Strategy: a 2–4-way tensor with deliberately odd, uneven dims (3..=9) so
+/// chunk boundaries land mid-block in every partitioner.
+fn arbitrary_tensor() -> impl Strategy<Value = DenseTensor> {
+    prop::collection::vec(3usize..=9, 2..=4).prop_flat_map(|dims| {
+        let len: usize = dims.iter().product();
+        prop::collection::vec(-1.0f64..1.0, len)
+            .prop_map(move |data| DenseTensor::from_vec(&dims, data))
+    })
+}
+
+/// A deterministic dense matrix for TTM tests.
+fn test_matrix(rows: usize, cols: usize, phase: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        ((i * 13 + j * 7) as f64 * 0.17 + phase).sin()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ttm_is_bit_identical_across_thread_counts(
+        x in arbitrary_tensor(),
+        mode_sel in 0usize..4,
+        k in 1usize..6,
+    ) {
+        let mode = mode_sel % x.ndims();
+        let baseline_ctx = ExecContext::new(1);
+        for (trans, v) in [
+            (TtmTranspose::NoTranspose, test_matrix(k, x.dim(mode), 0.3)),
+            (TtmTranspose::Transpose, test_matrix(x.dim(mode), k, 0.7)),
+        ] {
+            let baseline = ttm_ctx(&baseline_ctx, &x, &v, mode, trans);
+            for threads in THREAD_COUNTS {
+                let ctx = ExecContext::new(threads);
+                let out = ttm_ctx(&ctx, &x, &v, mode, trans);
+                prop_assert_eq!(out.as_slice(), baseline.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn gram_is_bit_identical_across_thread_counts(
+        x in arbitrary_tensor(),
+        mode_sel in 0usize..4,
+    ) {
+        let mode = mode_sel % x.ndims();
+        let baseline = gram_ctx(&ExecContext::new(1), &x, mode);
+        for threads in THREAD_COUNTS {
+            let s = gram_ctx(&ExecContext::new(threads), &x, mode);
+            prop_assert_eq!(s.as_slice(), baseline.as_slice());
+        }
+    }
+
+    #[test]
+    fn st_hosvd_is_bit_identical_across_thread_counts(x in arbitrary_tensor()) {
+        let opts = SthosvdOptions::with_tolerance(0.2);
+        let baseline = st_hosvd_ctx(&x, &opts, &ExecContext::new(1));
+        for threads in THREAD_COUNTS {
+            let r = st_hosvd_ctx(&x, &opts, &ExecContext::new(threads));
+            prop_assert_eq!(&r.ranks, &baseline.ranks);
+            prop_assert_eq!(
+                r.tucker.core.as_slice(),
+                baseline.tucker.core.as_slice()
+            );
+            for (a, b) in r.tucker.factors.iter().zip(baseline.tucker.factors.iter()) {
+                prop_assert_eq!(a.as_slice(), b.as_slice());
+            }
+            prop_assert_eq!(r.discarded_energy, baseline.discarded_energy);
+        }
+    }
+
+    #[test]
+    fn hooi_is_bit_identical_across_thread_counts(x in arbitrary_tensor()) {
+        let ranks: Vec<usize> = x.dims().iter().map(|&d| d.min(2)).collect();
+        let opts = HooiOptions::with_ranks(ranks, 2);
+        let baseline = hooi_ctx(&x, &opts, &ExecContext::new(1));
+        for threads in THREAD_COUNTS {
+            let r = hooi_ctx(&x, &opts, &ExecContext::new(threads));
+            prop_assert_eq!(r.iterations, baseline.iterations);
+            prop_assert_eq!(&r.fit_history, &baseline.fit_history);
+            prop_assert_eq!(
+                r.tucker.core.as_slice(),
+                baseline.tucker.core.as_slice()
+            );
+            for (a, b) in r.tucker.factors.iter().zip(baseline.tucker.factors.iter()) {
+                prop_assert_eq!(a.as_slice(), b.as_slice());
+            }
+        }
+    }
+}
+
+/// Shapes sized to actually clear the parallel work thresholds (the proptest
+/// shapes above keep the suite fast but mostly exercise the small-problem
+/// fallbacks; this test forces the pool paths).
+#[test]
+fn large_kernels_are_bit_identical_across_thread_counts() {
+    let x = DenseTensor::from_fn(&[40, 36, 34], |idx| {
+        let mut v = 0.3;
+        for (k, &i) in idx.iter().enumerate() {
+            v += ((k + 1) as f64 * 0.11 * i as f64).sin();
+        }
+        v
+    });
+    let opts = SthosvdOptions::with_ranks(vec![9, 8, 7]);
+    let baseline = st_hosvd_ctx(&x, &opts, &ExecContext::new(1));
+    for threads in [2usize, 4, 8, 32] {
+        let ctx = ExecContext::new(threads);
+        let r = st_hosvd_ctx(&x, &opts, &ctx);
+        assert_eq!(r.tucker.core.as_slice(), baseline.tucker.core.as_slice());
+        for (a, b) in r.tucker.factors.iter().zip(baseline.tucker.factors.iter()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // Reconstruction exercises the NoTranspose TTM chain at full size.
+        let rec = baseline.tucker.reconstruct_ctx(&ExecContext::new(1));
+        let rec_t = r.tucker.reconstruct_ctx(&ctx);
+        assert_eq!(rec.as_slice(), rec_t.as_slice());
+    }
+}

@@ -176,3 +176,112 @@ fn sp_dist_tucker_round_trips_on_nontrivial_grid() {
         assert_eq!(window, expected);
     }
 }
+
+#[test]
+fn parallel_encode_and_decode_are_byte_and_bit_identical() {
+    // ISSUE 3: the store codecs encode/decode core chunks on the shared
+    // execution pool. The artifact bytes and the decoded decomposition must
+    // not depend on the thread count in any way.
+    use tucker_exec::ExecContext;
+    use tucker_store::write_tucker_ctx;
+
+    let ds = DatasetPreset::Sp.generate(1, 77);
+    let result = st_hosvd(&ds.data, &SthosvdOptions::with_tolerance(1e-3));
+    for codec in Codec::all() {
+        let seq = ExecContext::new(1);
+        let path_seq = temp_tkr(&format!("par_{}_t1", codec.name()));
+        write_tucker_ctx(
+            &path_seq,
+            &result.tucker,
+            &StoreOptions::new(codec, 1e-3),
+            &seq,
+        )
+        .unwrap();
+        let bytes_seq = std::fs::read(&path_seq).unwrap();
+        let baseline = TkrArtifact::open_ctx(&path_seq, &seq).unwrap();
+        std::fs::remove_file(&path_seq).ok();
+
+        for threads in [4usize, 16] {
+            let ctx = ExecContext::new(threads);
+            let path = temp_tkr(&format!("par_{}_t{threads}", codec.name()));
+            write_tucker_ctx(&path, &result.tucker, &StoreOptions::new(codec, 1e-3), &ctx).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            assert_eq!(
+                bytes,
+                bytes_seq,
+                "{}: artifact bytes differ at {threads} threads",
+                codec.name()
+            );
+            let artifact = TkrArtifact::open_ctx(&path, &ctx).unwrap();
+            std::fs::remove_file(&path).ok();
+            assert_eq!(
+                artifact.tucker().core.as_slice(),
+                baseline.tucker().core.as_slice(),
+                "{}: decoded core differs at {threads} threads",
+                codec.name()
+            );
+            for (a, b) in artifact
+                .tucker()
+                .factors
+                .iter()
+                .zip(baseline.tucker().factors.iter())
+            {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_wave_encode_decode_is_byte_identical_and_lossless() {
+    // The parallel codec paths proceed in waves of `threads · 4` chunks; the
+    // other tests' cores fit in a single chunk, so this one spans 9 chunks
+    // (64·64·130 elements at the 65536-element chunk target) to force
+    // multiple encode waves and the reader's mid-scan decode flush. Wave
+    // boundaries must not leak into the bytes or the decoded values.
+    use tucker_exec::ExecContext;
+    use tucker_linalg::Matrix;
+    use tucker_store::write_tucker_ctx;
+
+    let core_dims = [64usize, 64, 130];
+    let core = DenseTensor::from_fn(&core_dims, |idx| {
+        let mut v = 0.2;
+        for (m, &i) in idx.iter().enumerate() {
+            v += ((m + 1) as f64 * 0.037 * i as f64).sin();
+        }
+        v
+    });
+    let factors: Vec<Matrix> = core_dims.iter().map(|&d| Matrix::identity(d)).collect();
+    let tucker = TuckerTensor::new(core, factors);
+
+    for codec in [Codec::F64, Codec::Q16] {
+        let mut per_thread_bytes = Vec::new();
+        let mut per_thread_cores: Vec<Vec<f64>> = Vec::new();
+        for threads in [1usize, 4] {
+            let ctx = ExecContext::new(threads);
+            let path = temp_tkr(&format!("wave_{}_t{threads}", codec.name()));
+            write_tucker_ctx(&path, &tucker, &StoreOptions::new(codec, 1e-3), &ctx).unwrap();
+            per_thread_bytes.push(std::fs::read(&path).unwrap());
+            let artifact = TkrArtifact::open_ctx(&path, &ctx).unwrap();
+            std::fs::remove_file(&path).ok();
+            assert_eq!(artifact.tucker().core.dims(), tucker.core.dims());
+            per_thread_cores.push(artifact.tucker().core.as_slice().to_vec());
+        }
+        assert_eq!(
+            per_thread_bytes[0],
+            per_thread_bytes[1],
+            "{}: wave split changed the artifact bytes",
+            codec.name()
+        );
+        assert_eq!(
+            per_thread_cores[0],
+            per_thread_cores[1],
+            "{}: wave split changed the decoded core",
+            codec.name()
+        );
+        if codec == Codec::F64 {
+            // Lossless codec: every chunk of every wave round-trips exactly.
+            assert_eq!(per_thread_cores[0], tucker.core.as_slice());
+        }
+    }
+}

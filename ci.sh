@@ -18,6 +18,12 @@ TUCKER_THREADS=1 cargo test -q
 echo "== cargo test -q (TUCKER_THREADS=4) =="
 TUCKER_THREADS=4 cargo test -q
 
+echo "== cargo test -q --test streaming (TUCKER_THREADS=32, oversubscribed) =="
+# The streaming determinism suite again, on a pool far larger than any CI
+# machine has cores: slab decomposition and oversubscription must both be
+# invisible in the bits.
+TUCKER_THREADS=32 cargo test -q --test streaming
+
 echo "== table3_storage (storage-layer shape check) =="
 # The binary asserts finite compression ratios and round-trip errors within
 # the declared eps + quantization budget; any violation exits non-zero.
@@ -27,6 +33,12 @@ echo "== table4_threads (kernel determinism across thread counts) =="
 # Exits non-zero if any multi-threaded kernel produces different results
 # than the single-threaded run (smoke shape keeps this fast).
 TUCKER_TABLE4_SMOKE=1 cargo run --release -p tucker-bench --bin table4_threads
+
+echo "== table5_memory (out-of-core peak-memory gate) =="
+# Tracking-allocator measurement of the compress-and-store pipelines; exits
+# non-zero if the streaming path peaks at >= 50% of the in-memory path or
+# the two artifacts are not byte-identical.
+cargo run --release -p tucker-bench --bin table5_memory
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -15,6 +15,11 @@
 //! * **budget**      — the artifact's declared error budget `ε + q`, which
 //!   the measured round-trip error must not exceed.
 //!
+//! A second table compares point-query throughput: the per-point
+//! `O(N·∏R)` [`TkrArtifact::element`] walk versus the batched
+//! [`TkrArtifact::elements`] contraction (`O(∏R)` per point, shared
+//! buffers), asserting the two agree to round-off.
+//!
 //! Every ratio is asserted finite and every round-trip error is asserted
 //! within budget, so CI fails loudly if the storage layer regresses.
 //!
@@ -80,7 +85,7 @@ fn main() {
             let (artifact, dec_s) = timed(|| TkrArtifact::open(&path).unwrap());
             std::fs::remove_file(&path).ok();
 
-            let (sub, query_s) = timed(|| artifact.reconstruct_range(&window));
+            let (sub, query_s) = timed(|| artifact.reconstruct_range(&window).unwrap());
             assert_eq!(sub.len(), window_elems);
             let query_meps = window_elems as f64 / query_s.max(1e-12) / 1e6;
 
@@ -129,9 +134,72 @@ fn main() {
             preset.name()
         );
     }
+    // Point-query throughput: per-element walk vs the batched contraction.
+    println!("\nPoint queries — element() vs batched elements()");
+    let widths = [8usize, 8, 14, 14, 9];
+    print_header(
+        &[
+            "dataset",
+            "points",
+            "single kel/s",
+            "batched kel/s",
+            "speedup",
+        ],
+        &widths,
+    );
+    for preset in DatasetPreset::all() {
+        let ds = preset.generate(1, 2024);
+        let dims = ds.data.dims().to_vec();
+        let result = st_hosvd(&ds.data, &SthosvdOptions::with_tolerance(eps));
+        let path = tmp.join(format!(
+            "table3_pts_{}_{}.tkr",
+            std::process::id(),
+            preset.name()
+        ));
+        write_tucker(&path, &result.tucker, &StoreOptions::new(Codec::F64, eps)).unwrap();
+        let artifact = TkrArtifact::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let n_points = 512usize;
+        let points: Vec<Vec<usize>> = (0..n_points)
+            .map(|i| {
+                dims.iter()
+                    .enumerate()
+                    .map(|(n, &d)| (i * (2 * n + 3) * 131) % d)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[usize]> = points.iter().map(|p| p.as_slice()).collect();
+
+        let (singles, single_s) = timed(|| {
+            refs.iter()
+                .map(|p| artifact.element(p).unwrap())
+                .collect::<Vec<f64>>()
+        });
+        let (batched, batch_s) = timed(|| artifact.elements(&refs).unwrap());
+        for (a, b) in singles.iter().zip(batched.iter()) {
+            assert!(
+                (a - b).abs() <= 1e-10 * a.abs().max(1.0),
+                "{}: batched point query diverged ({a} vs {b})",
+                preset.name()
+            );
+        }
+        print_row(
+            &[
+                preset.name().to_string(),
+                format!("{n_points}"),
+                format!("{:.1}", n_points as f64 / single_s.max(1e-12) / 1e3),
+                format!("{:.1}", n_points as f64 / batch_s.max(1e-12) / 1e3),
+                format!("{:.1}x", single_s / batch_s.max(1e-12)),
+            ],
+            &widths,
+        );
+    }
+
     println!(
         "\nShape check passed: every ratio is finite, quantized codecs beat the\n\
-         f64 file ratio, and every round-trip error is within the declared\n\
-         eps + quantization budget."
+         f64 file ratio, every round-trip error is within the declared\n\
+         eps + quantization budget, and batched point queries agree with the\n\
+         per-element walk."
     );
 }

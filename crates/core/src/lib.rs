@@ -47,6 +47,7 @@ pub mod ordering;
 pub mod rank;
 pub mod reconstruct;
 pub mod sthosvd;
+pub mod streaming;
 pub mod thosvd;
 pub mod tucker;
 
@@ -59,6 +60,7 @@ pub use reconstruct::{
     reconstruct_subtensor_ctx,
 };
 pub use sthosvd::{st_hosvd, st_hosvd_ctx, SthosvdOptions, SthosvdResult};
+pub use streaming::{st_hosvd_streaming, st_hosvd_streaming_ctx, StreamingOptions};
 pub use thosvd::{t_hosvd, ThosvdResult};
 pub use tucker::TuckerTensor;
 
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use crate::rank::RankSelection;
     pub use crate::reconstruct::{reconstruct_element, reconstruct_full, reconstruct_subtensor};
     pub use crate::sthosvd::{st_hosvd, st_hosvd_ctx, SthosvdOptions, SthosvdResult};
+    pub use crate::streaming::{st_hosvd_streaming, st_hosvd_streaming_ctx, StreamingOptions};
     pub use crate::thosvd::t_hosvd;
     pub use crate::tucker::TuckerTensor;
     pub use tucker_exec::ExecContext;

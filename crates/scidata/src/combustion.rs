@@ -75,36 +75,56 @@ struct Kernel {
     freq: f64,
 }
 
-impl CombustionConfig {
-    /// Generates the surrogate field.
-    pub fn generate(&self) -> CombustionField {
+/// The deterministic (noise-free) part of a surrogate field: precomputed
+/// kernel trajectories plus a pure per-index evaluator. Shared by the
+/// materializing [`CombustionConfig::generate`] (which layers sequential rng
+/// noise on top) and the offset-addressable slab source of
+/// [`crate::slab`] (which layers counter-based noise on top).
+pub(crate) struct SurrogateModel {
+    pub(crate) grid: Vec<usize>,
+    pub(crate) dims: Vec<usize>,
+    pub(crate) nspace: usize,
+    pub(crate) var_mode: usize,
+    pub(crate) time_mode: usize,
+    background: Vec<f64>,
+    kernels: Vec<Kernel>,
+    centers: Vec<Vec<Vec<f64>>>,
+    intensities: Vec<Vec<f64>>,
+    species_amp: Vec<Vec<f64>>,
+}
+
+impl SurrogateModel {
+    /// Builds the model, drawing from `rng` in the exact historical order
+    /// (species loadings, kernels, background) so that
+    /// [`CombustionConfig::generate`] — which continues drawing noise from
+    /// the same rng — produces bit-identical fields to every prior release.
+    pub(crate) fn new(cfg: &CombustionConfig, rng: &mut StdRng) -> SurrogateModel {
         assert!(
-            (1..=3).contains(&self.grid.len()),
+            (1..=3).contains(&cfg.grid.len()),
             "CombustionConfig: 1–3 spatial dimensions supported"
         );
-        assert!(self.species_rank >= 1 && self.species_rank <= self.n_variables);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        assert!(cfg.species_rank >= 1 && cfg.species_rank <= cfg.n_variables);
 
         // Latent reaction modes → species loading matrix (n_variables × species_rank).
-        let species_loadings: Vec<Vec<f64>> = (0..self.n_variables)
+        let species_loadings: Vec<Vec<f64>> = (0..cfg.n_variables)
             .map(|_| {
-                (0..self.species_rank)
+                (0..cfg.species_rank)
                     .map(|_| rng.gen_range(-1.0..1.0))
                     .collect()
             })
             .collect();
 
         // Flame kernels.
-        let kernels: Vec<Kernel> = (0..self.n_kernels)
+        let kernels: Vec<Kernel> = (0..cfg.n_kernels)
             .map(|_| Kernel {
-                center: self.grid.iter().map(|_| rng.gen_range(0.1..0.9)).collect(),
-                velocity: self
+                center: cfg.grid.iter().map(|_| rng.gen_range(0.1..0.9)).collect(),
+                velocity: cfg
                     .grid
                     .iter()
-                    .map(|_| rng.gen_range(-1.0..1.0) * self.drift)
+                    .map(|_| rng.gen_range(-1.0..1.0) * cfg.drift)
                     .collect(),
-                width: self.kernel_width * rng.gen_range(0.6..1.4),
-                latent_amplitude: (0..self.species_rank)
+                width: cfg.kernel_width * rng.gen_range(0.6..1.4),
+                latent_amplitude: (0..cfg.species_rank)
                     .map(|_| rng.gen_range(0.5..1.5) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
                     .collect(),
                 phase: rng.gen_range(0.0..std::f64::consts::TAU),
@@ -113,20 +133,18 @@ impl CombustionConfig {
             .collect();
 
         // Smooth background per variable (slowly varying in space, constant in time).
-        let background: Vec<f64> = (0..self.n_variables)
+        let background: Vec<f64> = (0..cfg.n_variables)
             .map(|_| rng.gen_range(-0.5..0.5))
             .collect();
 
-        let mut dims = self.grid.clone();
-        dims.push(self.n_variables);
-        dims.push(self.n_timesteps);
-        let nspace = self.grid.len();
-        let var_mode = nspace;
-        let time_mode = nspace + 1;
+        let mut dims = cfg.grid.clone();
+        dims.push(cfg.n_variables);
+        dims.push(cfg.n_timesteps);
+        let nspace = cfg.grid.len();
 
         // Precompute per-(kernel, time) centers and intensities; per-(kernel, variable)
         // species amplitudes.
-        let nt = self.n_timesteps.max(1);
+        let nt = cfg.n_timesteps.max(1);
         let centers: Vec<Vec<Vec<f64>>> = kernels
             .iter()
             .map(|k| {
@@ -156,7 +174,7 @@ impl CombustionConfig {
         let species_amp: Vec<Vec<f64>> = kernels
             .iter()
             .map(|k| {
-                (0..self.n_variables)
+                (0..cfg.n_variables)
                     .map(|v| {
                         k.latent_amplitude
                             .iter()
@@ -168,42 +186,73 @@ impl CombustionConfig {
             })
             .collect();
 
-        let grid = self.grid.clone();
-        let noise = self.noise_level;
-        let data = DenseTensor::from_fn(&dims, |idx| {
-            // Normalized spatial coordinates.
-            let pos: Vec<f64> = (0..nspace)
-                .map(|d| idx[d] as f64 / grid[d] as f64)
-                .collect();
-            let v = idx[var_mode];
-            let t = idx[time_mode];
-            let mut value = background[v];
-            for (ki, k) in kernels.iter().enumerate() {
-                let c = &centers[ki][t];
-                let mut dist2 = 0.0;
-                for d in 0..nspace {
-                    let delta = pos[d] - c[d];
-                    dist2 += delta * delta;
-                }
-                let shape = (-dist2 / (2.0 * k.width * k.width)).exp();
-                value += intensities[ki][t] * species_amp[ki][v] * shape;
+        SurrogateModel {
+            grid: cfg.grid.clone(),
+            dims,
+            nspace,
+            var_mode: nspace,
+            time_mode: nspace + 1,
+            background,
+            kernels,
+            centers,
+            intensities,
+            species_amp,
+        }
+    }
+
+    /// The noise-free field value at a multi-index — byte-for-byte the
+    /// historical `from_fn` closure body minus the rng noise term.
+    pub(crate) fn structural_value(&self, idx: &[usize]) -> f64 {
+        // Normalized spatial coordinates.
+        let pos: Vec<f64> = (0..self.nspace)
+            .map(|d| idx[d] as f64 / self.grid[d] as f64)
+            .collect();
+        let v = idx[self.var_mode];
+        let t = idx[self.time_mode];
+        let mut value = self.background[v];
+        for (ki, k) in self.kernels.iter().enumerate() {
+            let c = &self.centers[ki][t];
+            let mut dist2 = 0.0;
+            for d in 0..self.nspace {
+                let delta = pos[d] - c[d];
+                dist2 += delta * delta;
             }
+            let shape = (-dist2 / (2.0 * k.width * k.width)).exp();
+            value += self.intensities[ki][t] * self.species_amp[ki][v] * shape;
+        }
+        value
+    }
+
+    /// Mode labels matching the dims layout.
+    pub(crate) fn mode_labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = (0..self.nspace)
+            .map(|d| format!("Spatial {}", d + 1))
+            .collect();
+        labels.push("Species".to_string());
+        labels.push("Time".to_string());
+        labels
+    }
+}
+
+impl CombustionConfig {
+    /// Generates the surrogate field.
+    pub fn generate(&self) -> CombustionField {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let model = SurrogateModel::new(self, &mut rng);
+        let noise = self.noise_level;
+        let data = DenseTensor::from_fn(&model.dims, |idx| {
+            let mut value = model.structural_value(idx);
             if noise > 0.0 {
                 value += noise * rng.gen_range(-1.0..1.0);
             }
             value
         });
 
-        let mut mode_labels: Vec<String> =
-            (0..nspace).map(|d| format!("Spatial {}", d + 1)).collect();
-        mode_labels.push("Species".to_string());
-        mode_labels.push("Time".to_string());
-
         CombustionField {
             data,
-            mode_labels,
-            variable_mode: var_mode,
-            time_mode,
+            mode_labels: model.mode_labels(),
+            variable_mode: model.var_mode,
+            time_mode: model.time_mode,
         }
     }
 }

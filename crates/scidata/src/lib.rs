@@ -14,15 +14,19 @@
 //! * [`combustion`]— the HCCI / TJLR / SP surrogate field generators.
 //! * [`normalize`] — per-variable centering and scaling (Sec. VII-A).
 //! * [`datasets`]  — named presets mirroring the paper's dataset shapes.
+//! * [`slab`]      — offset-addressable slab generators driving the
+//!   out-of-core pipeline without materializing the field.
 
 pub mod combustion;
 pub mod datasets;
 pub mod normalize;
+pub mod slab;
 pub mod spectra;
 pub mod synthetic;
 
 pub use combustion::{CombustionConfig, CombustionField};
 pub use datasets::{DatasetPreset, GeneratedDataset};
 pub use normalize::{normalize_per_slice, Normalization};
+pub use slab::CombustionSlabSource;
 pub use spectra::SpectralDecay;
 pub use synthetic::{random_low_rank, random_tucker_with_spectra, NoisyLowRank};

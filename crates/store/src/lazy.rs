@@ -1,0 +1,604 @@
+//! The lazy, chunk-cached artifact reader.
+//!
+//! [`crate::TkrArtifact::open`] decodes the whole core up front — fine when
+//! the core fits comfortably in memory, a wall when it does not (the ROADMAP
+//! open item this module resolves). [`TkrReader`] keeps the core **on
+//! disk**: `open` makes one scan pass that parses the header, decodes the
+//! (small) factor matrices, and builds a *chunk directory* — the file offset
+//! and core range of every `TAG_CORE_CHUNK` block — without reading any
+//! core payload. Queries then pull chunks on demand through a bounded LRU
+//! [`ChunkCache`]; cache misses within one wave are codec-decoded in
+//! parallel on the reader's `ExecContext`.
+//!
+//! Partial reconstruction never assembles the core: each chunk is a run of
+//! whole last-mode core slabs, so a window query contracts chunk `c` with
+//! the non-last sub-factors and accumulates its contribution through the
+//! last-mode factor columns `[start_c, start_c + len_c)` — splitting the
+//! final TTM's contraction dimension at chunk boundaries. Because the GEMM
+//! kernel accumulates each output element as one running sum in ascending
+//! contraction order, the result is **byte-identical** to the eager reader
+//! for every chunk layout and cache size (pinned in
+//! `tests/store_roundtrip.rs`); peak memory is `O(decoded chunks in cache +
+//! output + one chunk-sized intermediate)`.
+
+use crate::format::{invalid, read_u32, read_u64, TkrHeader, TAG_CORE_CHUNK, TAG_END, TAG_FACTOR};
+use crate::query::{validate_point, validate_ranges, validate_slice, validate_spec, QueryError};
+use crate::writer::codec_wave_chunks;
+use std::fs::File;
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use tucker_exec::ExecContext;
+use tucker_linalg::gemm::{gemm_slices, Transpose};
+use tucker_linalg::Matrix;
+use tucker_tensor::{ttm_ctx, DenseTensor, SubtensorSpec, TtmTranspose};
+
+/// Default number of decoded chunks the cache keeps resident.
+pub const DEFAULT_CACHE_CHUNKS: usize = 16;
+
+/// One entry of the chunk directory: where a core chunk lives in the file
+/// and which core elements it decodes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ChunkEntry {
+    /// First core element (linear, natural order) of the chunk.
+    pub start: usize,
+    /// Number of core elements in the chunk.
+    pub len: usize,
+    /// File offset of the chunk's codec payload.
+    pub offset: u64,
+}
+
+/// A scanned artifact: everything `open` learns in one framing pass —
+/// header, decoded factors, chunk directory — plus the still-open file.
+/// Both readers are built from this; the eager one just decodes every
+/// chunk immediately.
+pub(crate) struct ScannedArtifact {
+    pub header: TkrHeader,
+    pub factors: Vec<Matrix>,
+    pub chunks: Vec<ChunkEntry>,
+    pub core_total: usize,
+    pub file: BufReader<File>,
+    pub file_bytes: u64,
+}
+
+/// Parses the framing of a `.tkr` file: validates the header and every
+/// block's bookkeeping exactly like the historical eager reader, decodes
+/// factor blocks, and records — but does not read — core chunk payloads.
+pub(crate) fn scan_artifact(path: impl AsRef<Path>) -> io::Result<ScannedArtifact> {
+    let file = File::open(&path)?;
+    let file_bytes = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    let header = TkrHeader::read_from(&mut r)?;
+    let ndims = header.ndims();
+    let codec = header.codec;
+
+    // A block's payload can never hold more values than the file has bytes
+    // per value, so bound every declared allocation by the file size — a
+    // corrupt header must fail here, not abort on OOM.
+    let max_vals = (file_bytes / codec.bytes_per_value() as u64) as usize;
+    let core_total: usize = header
+        .ranks
+        .iter()
+        .try_fold(1usize, |acc, &rk| acc.checked_mul(rk))
+        .filter(|&c| c <= max_vals)
+        .ok_or_else(|| invalid("declared core is larger than the file itself"))?;
+    for (n, (&d, &rk)) in header.dims.iter().zip(header.ranks.iter()).enumerate() {
+        if d.checked_mul(rk).is_none_or(|v| v > max_vals) {
+            return Err(invalid(&format!(
+                "declared factor {n} is larger than the file itself"
+            )));
+        }
+    }
+
+    let mut factors: Vec<Option<Matrix>> = vec![None; ndims];
+    let mut chunks: Vec<ChunkEntry> = Vec::new();
+    let mut core_filled = 0usize;
+    let mut saw_end = false;
+    // The format contract (and the writer's assertions): every core chunk is
+    // a non-empty run of whole last-mode slabs. Enforce it here so the lazy
+    // reader's slab-shaped chunk math can never be handed a misaligned
+    // chunk at query time.
+    let slab_stride: usize = header.ranks[..ndims - 1].iter().product::<usize>().max(1);
+
+    while !saw_end {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                invalid("truncated artifact: missing end marker")
+            } else {
+                e
+            }
+        })?;
+        match tag[0] {
+            TAG_FACTOR => {
+                let mode = read_u32(&mut r)? as usize;
+                let rows = read_u64(&mut r)? as usize;
+                let cols = read_u64(&mut r)? as usize;
+                if mode >= ndims {
+                    return Err(invalid(&format!("factor block for mode {mode} of {ndims}")));
+                }
+                if factors[mode].is_some() {
+                    return Err(invalid(&format!("duplicate factor block for mode {mode}")));
+                }
+                if rows != header.dims[mode] || cols != header.ranks[mode] {
+                    return Err(invalid(&format!(
+                        "factor {mode} is {rows}×{cols}, header says {}×{}",
+                        header.dims[mode], header.ranks[mode]
+                    )));
+                }
+                let mut u = Matrix::zeros(rows, cols);
+                for j in 0..cols {
+                    let col = codec.decode_block(&mut r, rows)?;
+                    for (i, &v) in col.iter().enumerate() {
+                        u.set(i, j, v);
+                    }
+                }
+                factors[mode] = Some(u);
+            }
+            TAG_CORE_CHUNK => {
+                let start = read_u64(&mut r)? as usize;
+                let len = read_u64(&mut r)? as usize;
+                if start != core_filled {
+                    return Err(invalid(&format!(
+                        "core chunk at {start}, expected next offset {core_filled}"
+                    )));
+                }
+                // Overflow-safe: start == core_filled <= core_total here.
+                if len > core_total - start {
+                    return Err(invalid("core chunk overruns the core"));
+                }
+                if len == 0 || len % slab_stride != 0 {
+                    return Err(invalid(&format!(
+                        "core chunk of {len} elements is not a whole number of \
+                         last-mode slabs (stride {slab_stride})"
+                    )));
+                }
+                let payload = codec.block_bytes(len) as u64;
+                let offset = r.stream_position()?;
+                // The scan skips the payload, so verify now that it is
+                // actually present — a file truncated mid-chunk must fail at
+                // open, not at first query.
+                if offset
+                    .checked_add(payload)
+                    .is_none_or(|end| end > file_bytes)
+                {
+                    return Err(invalid("truncated artifact: core chunk payload cut short"));
+                }
+                r.seek_relative(payload as i64)?;
+                chunks.push(ChunkEntry { start, len, offset });
+                core_filled += len;
+            }
+            TAG_END => {
+                let declared = read_u64(&mut r)? as usize;
+                if declared != core_total {
+                    return Err(invalid(&format!(
+                        "end marker declares {declared} core elements, header implies {core_total}"
+                    )));
+                }
+                saw_end = true;
+            }
+            t => return Err(invalid(&format!("unknown block tag {t:#x}"))),
+        }
+    }
+    if core_filled != core_total {
+        return Err(invalid(&format!(
+            "core incomplete: {core_filled} of {core_total} elements"
+        )));
+    }
+    let factors: Vec<Matrix> = factors
+        .into_iter()
+        .enumerate()
+        .map(|(n, f)| f.ok_or_else(|| invalid(&format!("missing factor block for mode {n}"))))
+        .collect::<io::Result<_>>()?;
+    Ok(ScannedArtifact {
+        header,
+        factors,
+        chunks,
+        core_total,
+        file: r,
+        file_bytes,
+    })
+}
+
+/// A bounded LRU cache of decoded core chunks, keyed by chunk index. State
+/// is `O(resident)` — never `O(total chunks)` — so a sweep over a huge-core
+/// artifact costs `O(capacity)` per miss, not a scan of the directory.
+struct ChunkCache {
+    capacity: usize,
+    tick: u64,
+    entries: std::collections::HashMap<usize, (u64, Arc<Vec<f64>>)>,
+    resident: usize,
+}
+
+impl ChunkCache {
+    fn new(capacity: usize) -> ChunkCache {
+        let capacity = capacity.max(1);
+        ChunkCache {
+            capacity,
+            tick: 0,
+            entries: std::collections::HashMap::with_capacity(capacity + 1),
+            resident: 0,
+        }
+    }
+
+    /// Probes chunk `i`, refreshing its LRU stamp on a hit.
+    fn get(&mut self, i: usize) -> Option<Arc<Vec<f64>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&i).map(|(stamp, data)| {
+            *stamp = tick;
+            Arc::clone(data)
+        })
+    }
+
+    /// Inserts a freshly decoded chunk, evicting least-recently-used
+    /// entries (an `O(capacity)` min-stamp scan over the resident set) until
+    /// the capacity bound holds again.
+    fn insert(&mut self, i: usize, data: Arc<Vec<f64>>) {
+        self.tick += 1;
+        if self.entries.insert(i, (self.tick, data)).is_none() {
+            self.resident += 1;
+        }
+        while self.resident > self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .map(|(&j, (stamp, _))| (*stamp, j))
+                .min()
+                .map(|(_, j)| j)
+                .expect("resident > 0 implies an entry exists");
+            self.entries.remove(&oldest);
+            self.resident -= 1;
+        }
+    }
+}
+
+/// A lazily decoding `.tkr` reader: chunk directory built at open, chunks
+/// decoded on demand behind a bounded LRU cache.
+///
+/// All queries are `&self` (internally synchronized) and return the same
+/// bytes the eager [`crate::TkrArtifact`] would, while decoding only the
+/// chunks a query touches and keeping at most the cache capacity resident.
+pub struct TkrReader {
+    header: TkrHeader,
+    factors: Vec<Matrix>,
+    chunks: Vec<ChunkEntry>,
+    core_total: usize,
+    file_bytes: u64,
+    io: Mutex<BufReader<File>>,
+    cache: Mutex<ChunkCache>,
+    ctx: ExecContext,
+    decoded: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+impl TkrReader {
+    /// Opens an artifact lazily with the default cache size, decoding on the
+    /// global pool. One scan pass validates the complete framing (identical
+    /// checks to the eager reader); no core payload is read.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<TkrReader> {
+        TkrReader::open_with(path, DEFAULT_CACHE_CHUNKS, ExecContext::global())
+    }
+
+    /// [`TkrReader::open`] with an explicit cache capacity (in chunks,
+    /// clamped to at least 1) and execution context for parallel decode.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        cache_chunks: usize,
+        ctx: &ExecContext,
+    ) -> io::Result<TkrReader> {
+        let scanned = scan_artifact(path)?;
+        Ok(TkrReader {
+            header: scanned.header,
+            factors: scanned.factors,
+            chunks: scanned.chunks,
+            core_total: scanned.core_total,
+            file_bytes: scanned.file_bytes,
+            io: Mutex::new(scanned.file),
+            cache: Mutex::new(ChunkCache::new(cache_chunks)),
+            ctx: ctx.clone(),
+            decoded: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+        })
+    }
+
+    /// The parsed header (shape, ranks, ε, codec, quantization bound,
+    /// metadata).
+    pub fn header(&self) -> &TkrHeader {
+        &self.header
+    }
+
+    /// The decoded factor matrix of `mode`.
+    pub fn factor(&self, mode: usize) -> &Matrix {
+        &self.factors[mode]
+    }
+
+    /// Number of core chunks in the artifact.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Cumulative number of chunk decodes performed — the "never decodes
+    /// more than the touched chunks" accounting the tests pin (a repeat
+    /// query over cached chunks adds nothing here).
+    pub fn decoded_chunks(&self) -> usize {
+        self.decoded.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative number of cache hits.
+    pub fn cache_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of decoded chunks currently resident (≤ the cache capacity).
+    pub fn resident_chunks(&self) -> usize {
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .resident
+    }
+
+    /// Total declared relative error budget: decomposition ε plus the
+    /// codec's quantization bound.
+    pub fn error_budget(&self) -> f64 {
+        self.header.error_budget()
+    }
+
+    /// Physical compression ratio: original field as raw `f64` bytes over
+    /// the artifact's file size.
+    pub fn compression_ratio(&self) -> f64 {
+        let original = 8.0 * self.header.dims.iter().map(|&d| d as f64).product::<f64>();
+        original / self.file_bytes as f64
+    }
+
+    /// The artifact's size on disk in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Streams every chunk, in order, through `f`. Misses are fetched in
+    /// waves — payloads read sequentially, then codec-decoded in parallel on
+    /// the reader's context — so at most `min(wave, capacity)` chunks are
+    /// decoded per batch and the cache bound is never exceeded by more than
+    /// the wave in flight.
+    fn for_each_chunk(&self, mut f: impl FnMut(&ChunkEntry, &[f64])) -> Result<(), QueryError> {
+        let wave_len = codec_wave_chunks(&self.ctx)
+            .min(
+                self.cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .capacity,
+            )
+            .max(1);
+        let codec = self.header.codec;
+        let mut base = 0usize;
+        while base < self.chunks.len() {
+            let wave = &self.chunks[base..(base + wave_len).min(self.chunks.len())];
+
+            // Probe the cache for the whole wave.
+            let mut resolved: Vec<Option<Arc<Vec<f64>>>> = {
+                let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                wave.iter()
+                    .enumerate()
+                    .map(|(i, _)| cache.get(base + i))
+                    .collect()
+            };
+            self.hits.fetch_add(
+                resolved.iter().filter(|r| r.is_some()).count(),
+                Ordering::Relaxed,
+            );
+
+            // Read the payloads of every miss (sequential IO, ascending).
+            let mut misses: Vec<(usize, Vec<u8>, Vec<f64>)> = Vec::new();
+            {
+                let mut io = self.io.lock().unwrap_or_else(|e| e.into_inner());
+                for (i, slot) in resolved.iter().enumerate() {
+                    if slot.is_none() {
+                        let entry = &wave[i];
+                        let mut payload = vec![0u8; codec.block_bytes(entry.len)];
+                        io.seek(SeekFrom::Start(entry.offset))?;
+                        io.read_exact(&mut payload)?;
+                        misses.push((i, payload, Vec::new()));
+                    }
+                }
+            }
+
+            // Decode the wave's misses in parallel: exactly-sized in-memory
+            // payloads make the per-chunk decode infallible.
+            if !misses.is_empty() {
+                self.decoded.fetch_add(misses.len(), Ordering::Relaxed);
+                self.ctx.for_each_slot(&mut misses, |_, (i, payload, out)| {
+                    let len = wave[*i].len;
+                    *out = codec
+                        .decode_block(&mut io::Cursor::new(&payload[..]), len)
+                        .expect("in-memory decode of an exactly-sized payload cannot fail");
+                });
+                let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                for (i, _, decoded) in misses {
+                    let data = Arc::new(decoded);
+                    cache.insert(base + i, Arc::clone(&data));
+                    resolved[i] = Some(data);
+                }
+            }
+
+            for (i, entry) in wave.iter().enumerate() {
+                let data = resolved[i].as_ref().expect("every wave slot resolved");
+                f(entry, data);
+            }
+            base += wave.len();
+        }
+        Ok(())
+    }
+
+    /// Reconstructs the window given by per-mode `(start, len)` ranges —
+    /// byte-identical to [`crate::TkrArtifact::reconstruct_range`] — while
+    /// decoding the core chunk by chunk.
+    pub fn reconstruct_range(&self, ranges: &[(usize, usize)]) -> Result<DenseTensor, QueryError> {
+        validate_ranges(ranges, &self.header.dims)?;
+        self.reconstruct_subtensor(&SubtensorSpec::from_ranges(ranges))
+    }
+
+    /// Reconstructs an arbitrary (possibly non-contiguous) subtensor,
+    /// chunk-streamed.
+    pub fn reconstruct_subtensor(&self, spec: &SubtensorSpec) -> Result<DenseTensor, QueryError> {
+        validate_spec(spec, &self.header.dims)?;
+        let ndims = self.header.ndims();
+        let ranks = &self.header.ranks;
+        let last = ndims - 1;
+        let sub_factors: Vec<Matrix> = self
+            .factors
+            .iter()
+            .enumerate()
+            .map(|(n, u)| u.select_rows(spec.mode_indices(n)))
+            .collect();
+        let sub_dims = spec.sub_dims();
+        let mut out = DenseTensor::zeros(&sub_dims);
+        // The mode-N unfolding of the output: row-major d_last × left.
+        let left: usize = sub_dims[..last].iter().product();
+        let d_last = sub_dims[last];
+        let r_last = ranks[last];
+        let core_stride: usize = ranks[..last].iter().product::<usize>().max(1);
+        let u_last = &sub_factors[last];
+        let chunk_dims = |wc: usize| -> Vec<usize> {
+            let mut d = ranks.clone();
+            d[last] = wc;
+            d
+        };
+
+        self.for_each_chunk(|entry, data| {
+            let wc = entry.len / core_stride;
+            let s0 = entry.start / core_stride;
+            // Contract the chunk with the non-last sub-factors: bitwise the
+            // last-mode slab [s0, s0+wc) of the full intermediate.
+            let mut cur = DenseTensor::from_vec(&chunk_dims(wc), data.to_vec());
+            for (n, u) in sub_factors[..last].iter().enumerate() {
+                cur = ttm_ctx(&self.ctx, &cur, u, n, TtmTranspose::NoTranspose);
+            }
+            if ndims == 1 {
+                // Degenerate 1-way artifact: mirror the eager kernel's GEMM
+                // orientation (chunk on the left, factor transposed) so even
+                // exact-zero handling matches.
+                gemm_slices(
+                    Transpose::No,
+                    Transpose::Yes,
+                    1.0,
+                    cur.as_slice(),
+                    1,
+                    wc,
+                    wc,
+                    &u_last.as_slice()[s0..],
+                    d_last,
+                    wc,
+                    r_last,
+                    1.0,
+                    out.as_mut_slice(),
+                    d_last,
+                );
+            } else {
+                // out(d_last × left) += U_last[:, s0..s0+wc] · cur(wc × left):
+                // the last TTM's contraction dimension split at the chunk
+                // boundary — the per-element running sum in `gemm_slices`
+                // makes this bit-identical to the unsplit contraction.
+                gemm_slices(
+                    Transpose::No,
+                    Transpose::No,
+                    1.0,
+                    &u_last.as_slice()[s0..],
+                    d_last,
+                    wc,
+                    r_last,
+                    cur.as_slice(),
+                    wc,
+                    left,
+                    left,
+                    1.0,
+                    out.as_mut_slice(),
+                    left,
+                );
+            }
+        })?;
+        Ok(out)
+    }
+
+    /// Reconstructs the single mode-`mode` slice at `idx`.
+    pub fn reconstruct_slice(&self, mode: usize, idx: usize) -> Result<DenseTensor, QueryError> {
+        validate_slice(mode, idx, &self.header.dims)?;
+        let spec = SubtensorSpec::all(&self.header.dims).restrict_mode(mode, vec![idx]);
+        self.reconstruct_subtensor(&spec)
+    }
+
+    /// Reconstructs the full field, chunk-streamed (byte-identical to the
+    /// eager reader; only sensible when the *output* fits in memory).
+    pub fn reconstruct(&self) -> Result<DenseTensor, QueryError> {
+        self.reconstruct_subtensor(&SubtensorSpec::all(&self.header.dims))
+    }
+
+    /// Evaluates one element in `O(N·∏R_n)`, decoding only chunks not
+    /// already cached — bit-identical to [`crate::TkrArtifact::element`]
+    /// (same storage-order walk, continued across chunk boundaries).
+    pub fn element(&self, idx: &[usize]) -> Result<f64, QueryError> {
+        Ok(self.elements(&[idx])?[0])
+    }
+
+    /// Batched element queries: every chunk is decoded at most once for the
+    /// whole batch, and each point's accumulation is bit-identical to
+    /// [`TkrReader::element`].
+    pub fn elements(&self, points: &[&[usize]]) -> Result<Vec<f64>, QueryError> {
+        for p in points {
+            validate_point(p, &self.header.dims)?;
+        }
+        if points.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ranks = self.header.ranks.clone();
+        let ndims = ranks.len();
+        let mut acc = vec![0.0f64; points.len()];
+        let mut r_idx = vec![0usize; ndims];
+        self.for_each_chunk(|_, data| {
+            for &g in data {
+                for (a, point) in acc.iter_mut().zip(points.iter()) {
+                    let mut w = g;
+                    for (n, &r) in r_idx.iter().enumerate() {
+                        w *= self.factors[n].get(point[n], r);
+                    }
+                    *a += w;
+                }
+                // Advance the core multi-index, first mode fastest (storage
+                // order), continuing seamlessly across chunk boundaries.
+                for (k, i) in r_idx.iter_mut().enumerate() {
+                    *i += 1;
+                    if *i < ranks[k] {
+                        break;
+                    }
+                    *i = 0;
+                }
+            }
+        })?;
+        Ok(acc)
+    }
+
+    /// Materializes the whole decomposition — decodes every chunk once and
+    /// hands back an eager [`crate::TkrArtifact`]-equivalent
+    /// `TuckerTensor`. Escape hatch for callers that decide the core fits
+    /// after all.
+    pub fn into_tucker(self) -> Result<tucker_core::TuckerTensor, QueryError> {
+        let mut core_data = vec![0.0f64; self.core_total];
+        self.for_each_chunk(|entry, data| {
+            core_data[entry.start..entry.start + entry.len].copy_from_slice(data);
+        })?;
+        let core = DenseTensor::from_vec(&self.header.ranks, core_data);
+        Ok(tucker_core::TuckerTensor::new(core, self.factors))
+    }
+}
+
+impl std::fmt::Debug for TkrReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TkrReader")
+            .field("dims", &self.header.dims)
+            .field("ranks", &self.header.ranks)
+            .field("chunks", &self.chunks.len())
+            .field("decoded", &self.decoded_chunks())
+            .finish()
+    }
+}

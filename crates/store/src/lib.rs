@@ -17,12 +17,16 @@
 //!    the model's compression ratio; every block reports the exact error it
 //!    introduced and the writer folds that into the artifact's declared error
 //!    budget.
-//! 3. **Writer & query engine** ([`writer`], [`reader`]) — a streaming
-//!    chunked [`TkrWriter`] (core serialized slab-by-slab, so fields larger
-//!    than memory stream through), [`gather_and_write`] for distributed
-//!    output, and [`TkrArtifact`] serving `reconstruct_range` /
+//! 3. **Writer & query engine** ([`writer`], [`reader`], [`lazy`]) — a
+//!    streaming chunked [`TkrWriter`] (core serialized slab-by-slab, so
+//!    fields larger than memory stream through), [`compress_streaming`]
+//!    wiring the out-of-core ST-HOSVD straight into it,
+//!    [`gather_and_write`] for distributed output, and two readers:
+//!    the eager [`TkrArtifact`] (core decoded at open) and the lazy
+//!    [`TkrReader`] (chunk directory at open, chunks decoded on demand
+//!    behind a bounded LRU cache) — both serving `reconstruct_range` /
 //!    `reconstruct_slice` / `element` queries whose cost scales with the
-//!    request, never with the original data.
+//!    request, never with the original data, with byte-identical answers.
 //!
 //! # Example
 //!
@@ -43,23 +47,33 @@
 //!
 //! let artifact = TkrArtifact::open(&path).unwrap();
 //! // One element, one slice, one window — no full reconstruction anywhere.
-//! let window = artifact.reconstruct_range(&[(2, 3), (0, 10), (5, 2)]);
+//! let window = artifact.reconstruct_range(&[(2, 3), (0, 10), (5, 2)]).unwrap();
 //! assert_eq!(window.dims(), &[3, 10, 2]);
-//! let e = artifact.element(&[4, 5, 6]);
+//! let e = artifact.element(&[4, 5, 6]).unwrap();
 //! assert!((e - x.get(&[4, 5, 6])).abs() < 1e-2);
+//!
+//! // The lazy reader answers the same queries byte-identically while
+//! // decoding only the core chunks it touches.
+//! let reader = tucker_store::TkrReader::open(&path).unwrap();
+//! assert_eq!(reader.reconstruct_range(&[(2, 3), (0, 10), (5, 2)]).unwrap(), window);
 //! std::fs::remove_file(&path).ok();
 //! ```
 
 pub mod codec;
 pub mod format;
+pub mod lazy;
+pub mod query;
 pub mod reader;
 pub mod writer;
 
 pub use codec::Codec;
 pub use format::{TkrHeader, TkrMetadata};
+pub use lazy::{TkrReader, DEFAULT_CACHE_CHUNKS};
+pub use query::QueryError;
 pub use reader::TkrArtifact;
 pub use writer::{
-    gather_and_write, write_tucker, write_tucker_ctx, EncodeReport, StoreOptions, TkrWriter,
+    compress_streaming, gather_and_write, write_tucker, write_tucker_ctx, EncodeReport,
+    StoreOptions, TkrWriter,
 };
 
 #[cfg(test)]
@@ -164,7 +178,9 @@ mod tests {
             write_tucker(&path, &t, &StoreOptions::new(codec, 1e-4)).unwrap();
             let artifact = TkrArtifact::open(&path).unwrap();
             let full = artifact.reconstruct();
-            let window = artifact.reconstruct_range(&[(3, 4), (2, 5), (0, 8)]);
+            let window = artifact
+                .reconstruct_range(&[(3, 4), (2, 5), (0, 8)])
+                .unwrap();
             let expected = extract_subtensor(
                 &full,
                 &SubtensorSpec::from_ranges(&[(3, 4), (2, 5), (0, 8)]),
@@ -183,12 +199,12 @@ mod tests {
         let path = temp_tkr("queries");
         write_tucker(&path, &t, &StoreOptions::new(Codec::F64, eps)).unwrap();
         let artifact = TkrArtifact::open(&path).unwrap();
-        let slice = artifact.reconstruct_slice(1, 4);
+        let slice = artifact.reconstruct_slice(1, 4).unwrap();
         assert_eq!(slice.dims(), &[11, 1, 7]);
         for i in [0usize, 5, 10] {
             for k in [0usize, 3, 6] {
                 assert!((slice.get(&[i, 0, k]) - x.get(&[i, 4, k])).abs() < 1e-3);
-                let e = artifact.element(&[i, 4, k]);
+                let e = artifact.element(&[i, 4, k]).unwrap();
                 assert!((e - x.get(&[i, 4, k])).abs() < 1e-3);
             }
         }
@@ -284,6 +300,238 @@ mod tests {
         let norm = meta.normalization.as_ref().unwrap();
         assert_eq!(norm, &ds.normalization);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lazy_reader_matches_eager_reader_byte_for_byte() {
+        // Write the core one last-mode slab per chunk so the lazy reader has
+        // several chunks to juggle, then compare every query shape against
+        // the eager reader with exact equality.
+        let (_, t) = compressed(&[10, 9, 12], 1e-4);
+        for codec in Codec::all() {
+            let path = temp_tkr(&format!("lazy_{}", codec.name()));
+            let header = TkrHeader {
+                dims: t.original_dims(),
+                ranks: t.ranks(),
+                eps: 1e-4,
+                codec,
+                quant_error_bound: 0.0,
+                meta: TkrMetadata::default(),
+            };
+            let mut w = TkrWriter::create(&path, header).unwrap();
+            for (n, u) in t.factors.iter().enumerate() {
+                w.write_factor(n, u).unwrap();
+            }
+            let last = *t.core.dims().last().unwrap();
+            for s in 0..last {
+                w.write_core_chunk(t.core.last_mode_slab(s, 1)).unwrap();
+            }
+            w.finish().unwrap();
+
+            let eager = TkrArtifact::open(&path).unwrap();
+            let lazy = TkrReader::open_with(&path, 2, tucker_exec::ExecContext::global()).unwrap();
+            std::fs::remove_file(&path).ok();
+            assert_eq!(lazy.chunk_count(), last);
+            assert_eq!(lazy.header(), eager.header());
+
+            let ranges = [(2usize, 5usize), (0, 9), (4, 6)];
+            assert_eq!(
+                lazy.reconstruct_range(&ranges).unwrap(),
+                eager.reconstruct_range(&ranges).unwrap()
+            );
+            assert_eq!(
+                lazy.reconstruct_slice(2, 7).unwrap(),
+                eager.reconstruct_slice(2, 7).unwrap()
+            );
+            assert_eq!(lazy.reconstruct().unwrap(), eager.reconstruct());
+            for idx in [[0usize, 0, 0], [9, 8, 11], [3, 4, 5]] {
+                assert_eq!(
+                    lazy.element(&idx).unwrap().to_bits(),
+                    eager.element(&idx).unwrap().to_bits(),
+                    "{}: element {idx:?}",
+                    codec.name()
+                );
+            }
+            // The bounded cache never holds more than its capacity.
+            assert!(lazy.resident_chunks() <= 2);
+        }
+    }
+
+    #[test]
+    fn lazy_reader_decodes_only_touched_chunks_and_caches_repeats() {
+        let (_, t) = compressed(&[8, 7, 10], 1e-4);
+        let path = temp_tkr("lazy_counts");
+        let header = TkrHeader {
+            dims: t.original_dims(),
+            ranks: t.ranks(),
+            eps: 1e-4,
+            codec: Codec::F64,
+            quant_error_bound: 0.0,
+            meta: TkrMetadata::default(),
+        };
+        let mut w = TkrWriter::create(&path, header).unwrap();
+        for (n, u) in t.factors.iter().enumerate() {
+            w.write_factor(n, u).unwrap();
+        }
+        let last = *t.core.dims().last().unwrap();
+        for s in 0..last {
+            w.write_core_chunk(t.core.last_mode_slab(s, 1)).unwrap();
+        }
+        w.finish().unwrap();
+
+        // Cache large enough for the whole core: a query decodes each chunk
+        // exactly once and repeats are pure cache hits.
+        let lazy = TkrReader::open_with(&path, 64, tucker_exec::ExecContext::global()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(lazy.decoded_chunks(), 0, "open must not decode the core");
+        lazy.element(&[0, 0, 0]).unwrap();
+        assert_eq!(lazy.decoded_chunks(), lazy.chunk_count());
+        lazy.reconstruct_range(&[(0, 2), (0, 2), (0, 2)]).unwrap();
+        assert_eq!(
+            lazy.decoded_chunks(),
+            lazy.chunk_count(),
+            "second query re-decoded cached chunks"
+        );
+        assert!(lazy.cache_hits() >= lazy.chunk_count());
+    }
+
+    #[test]
+    fn degenerate_queries_return_typed_errors_on_both_readers() {
+        use crate::query::QueryError;
+        let (_, t) = compressed(&[6, 5, 4], 1e-3);
+        let path = temp_tkr("typed_errors");
+        write_tucker(&path, &t, &StoreOptions::new(Codec::F64, 1e-3)).unwrap();
+        let eager = TkrArtifact::open(&path).unwrap();
+        let lazy = TkrReader::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // Wrong arity.
+        assert!(matches!(
+            eager.reconstruct_range(&[(0, 2)]),
+            Err(QueryError::ModeCountMismatch {
+                expected: 3,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            lazy.reconstruct_range(&[(0, 2)]),
+            Err(QueryError::ModeCountMismatch {
+                expected: 3,
+                got: 1
+            })
+        ));
+        // Empty and out-of-range windows (including overflow).
+        for bad in [
+            [(0usize, 0usize), (0, 5), (0, 4)],
+            [(0, 6), (5, 1), (0, 4)],
+            [(usize::MAX, 2), (0, 5), (0, 4)],
+        ] {
+            assert!(eager.reconstruct_range(&bad).is_err());
+            assert!(lazy.reconstruct_range(&bad).is_err());
+        }
+        // Slice and element validation.
+        assert!(matches!(
+            eager.reconstruct_slice(3, 0),
+            Err(QueryError::ModeOutOfRange { mode: 3, ndims: 3 })
+        ));
+        assert!(matches!(
+            lazy.reconstruct_slice(1, 5),
+            Err(QueryError::IndexOutOfBounds {
+                mode: 1,
+                index: 5,
+                dim: 5
+            })
+        ));
+        assert!(eager.element(&[0, 0]).is_err());
+        assert!(eager.element(&[6, 0, 0]).is_err());
+        assert!(lazy.element(&[0, 0, 4]).is_err());
+        assert!(eager.elements(&[&[0, 0, 0], &[0, 9, 0]]).is_err());
+        // Arbitrary specs validate identically on both readers.
+        let bad_spec = SubtensorSpec::from_indices(vec![vec![0, 6], vec![0], vec![0]]);
+        assert!(matches!(
+            eager.reconstruct_subtensor(&bad_spec),
+            Err(QueryError::IndexOutOfBounds {
+                mode: 0,
+                index: 6,
+                dim: 6
+            })
+        ));
+        assert!(matches!(
+            lazy.reconstruct_subtensor(&bad_spec),
+            Err(QueryError::IndexOutOfBounds {
+                mode: 0,
+                index: 6,
+                dim: 6
+            })
+        ));
+        // Valid requests still succeed after rejected ones.
+        assert!(eager.reconstruct_range(&[(0, 6), (0, 5), (0, 4)]).is_ok());
+        assert!(lazy.element(&[5, 4, 3]).is_ok());
+    }
+
+    #[test]
+    fn misaligned_core_chunk_is_rejected_at_open() {
+        // The format contract says core chunks are whole last-mode slabs;
+        // a crafted file violating it must fail at open on both readers,
+        // not panic inside a lazy query.
+        use crate::format::TAG_CORE_CHUNK;
+        let header = TkrHeader {
+            dims: vec![6, 6, 6],
+            ranks: vec![2, 2, 2],
+            eps: 1e-3,
+            codec: Codec::F64,
+            quant_error_bound: 0.0,
+            meta: TkrMetadata::default(),
+        };
+        let mut bytes = Vec::new();
+        header.write_to(&mut bytes).unwrap();
+        // A 3-element chunk: not a multiple of the 2·2 = 4 slab stride.
+        bytes.push(TAG_CORE_CHUNK);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 24]);
+        let path = temp_tkr("misaligned_chunk");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = TkrArtifact::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(TkrReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_elements_match_per_point_queries() {
+        let eps = 1e-4;
+        let (x, t) = compressed(&[12, 10, 8], eps);
+        let path = temp_tkr("batched");
+        write_tucker(&path, &t, &StoreOptions::new(Codec::F64, eps)).unwrap();
+        let artifact = TkrArtifact::open(&path).unwrap();
+        let lazy = TkrReader::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // An empty batch is free on both readers (no chunk is decoded).
+        assert!(artifact.elements(&[]).unwrap().is_empty());
+        assert!(lazy.elements(&[]).unwrap().is_empty());
+        assert_eq!(lazy.decoded_chunks(), 0);
+
+        let points: Vec<Vec<usize>> = (0..40)
+            .map(|i| vec![(i * 7) % 12, (i * 5) % 10, (i * 3) % 8])
+            .collect();
+        let refs: Vec<&[usize]> = points.iter().map(|p| p.as_slice()).collect();
+        let batched = artifact.elements(&refs).unwrap();
+        let lazy_batched = lazy.elements(&refs).unwrap();
+        for ((p, &b), lb) in refs.iter().zip(batched.iter()).zip(lazy_batched.iter()) {
+            let single = artifact.element(p).unwrap();
+            // Same sum in a different association order: round-off only.
+            let scale = single.abs().max(1.0);
+            assert!(
+                (b - single).abs() <= 1e-12 * scale,
+                "batched {b} vs single {single} at {p:?}"
+            );
+            // The lazy batch walk is bit-identical to the eager element walk.
+            assert_eq!(lb.to_bits(), single.to_bits());
+            // And everything approximates the original field.
+            assert!((single - x.get(p)).abs() < 1e-2);
+        }
     }
 
     #[test]

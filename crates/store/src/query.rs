@@ -1,0 +1,269 @@
+//! Typed errors and shared validation for the artifact query engine.
+//!
+//! Every query entry point of [`crate::TkrArtifact`] and the lazy
+//! [`crate::TkrReader`] validates its request against the artifact's shape
+//! *before* touching the decomposition, returning a [`QueryError`] instead
+//! of panicking deep inside a kernel: an analyst poking at an artifact with
+//! an off-by-one window gets a diagnosable error, not a process abort. The
+//! two readers share the validators below so their failure behavior cannot
+//! diverge.
+
+use std::io;
+use tucker_tensor::SubtensorSpec;
+
+/// Why a partial-reconstruction query against an artifact was rejected.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The request does not name one entry per tensor mode.
+    ModeCountMismatch {
+        /// Number of modes of the artifact.
+        expected: usize,
+        /// Number of entries in the request.
+        got: usize,
+    },
+    /// A `(start, len)` range with `len == 0` — an empty reconstruction.
+    EmptyRange {
+        /// The offending mode.
+        mode: usize,
+    },
+    /// A `(start, len)` range that ends past the mode's extent (including
+    /// `start + len` overflowing).
+    RangeOutOfBounds {
+        /// The offending mode.
+        mode: usize,
+        /// Requested start index.
+        start: usize,
+        /// Requested length.
+        len: usize,
+        /// The mode's extent.
+        dim: usize,
+    },
+    /// A point index outside the mode's extent.
+    IndexOutOfBounds {
+        /// The offending mode.
+        mode: usize,
+        /// Requested index.
+        index: usize,
+        /// The mode's extent.
+        dim: usize,
+    },
+    /// A slice request naming a mode the artifact does not have.
+    ModeOutOfRange {
+        /// Requested mode.
+        mode: usize,
+        /// Number of modes of the artifact.
+        ndims: usize,
+    },
+    /// An IO failure while reading chunks on the lazy path.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::ModeCountMismatch { expected, got } => {
+                write!(f, "query names {got} modes, artifact has {expected}")
+            }
+            QueryError::EmptyRange { mode } => {
+                write!(f, "empty range (len 0) in mode {mode}")
+            }
+            QueryError::RangeOutOfBounds {
+                mode,
+                start,
+                len,
+                dim,
+            } => write!(f, "range {start}+{len} exceeds dim {dim} in mode {mode}"),
+            QueryError::IndexOutOfBounds { mode, index, dim } => {
+                write!(f, "index {index} out of range in mode {mode} (dim {dim})")
+            }
+            QueryError::ModeOutOfRange { mode, ndims } => {
+                write!(f, "mode {mode} out of range for a {ndims}-mode artifact")
+            }
+            QueryError::Io(e) => write!(f, "IO error while answering query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for QueryError {
+    fn from(e: io::Error) -> Self {
+        QueryError::Io(e)
+    }
+}
+
+/// Validates one `(start, len)` window per mode against the tensor dims.
+pub(crate) fn validate_ranges(ranges: &[(usize, usize)], dims: &[usize]) -> Result<(), QueryError> {
+    if ranges.len() != dims.len() {
+        return Err(QueryError::ModeCountMismatch {
+            expected: dims.len(),
+            got: ranges.len(),
+        });
+    }
+    for (mode, (&(start, len), &dim)) in ranges.iter().zip(dims.iter()).enumerate() {
+        if len == 0 {
+            return Err(QueryError::EmptyRange { mode });
+        }
+        if start.checked_add(len).is_none_or(|end| end > dim) {
+            return Err(QueryError::RangeOutOfBounds {
+                mode,
+                start,
+                len,
+                dim,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates a single point index against the tensor dims.
+pub(crate) fn validate_point(idx: &[usize], dims: &[usize]) -> Result<(), QueryError> {
+    if idx.len() != dims.len() {
+        return Err(QueryError::ModeCountMismatch {
+            expected: dims.len(),
+            got: idx.len(),
+        });
+    }
+    for (mode, (&index, &dim)) in idx.iter().zip(dims.iter()).enumerate() {
+        if index >= dim {
+            return Err(QueryError::IndexOutOfBounds { mode, index, dim });
+        }
+    }
+    Ok(())
+}
+
+/// Validates a mode/index pair for a slice query.
+pub(crate) fn validate_slice(mode: usize, idx: usize, dims: &[usize]) -> Result<(), QueryError> {
+    if mode >= dims.len() {
+        return Err(QueryError::ModeOutOfRange {
+            mode,
+            ndims: dims.len(),
+        });
+    }
+    if idx >= dims[mode] {
+        return Err(QueryError::IndexOutOfBounds {
+            mode,
+            index: idx,
+            dim: dims[mode],
+        });
+    }
+    Ok(())
+}
+
+/// Validates an arbitrary subtensor spec against the tensor dims.
+pub(crate) fn validate_spec(spec: &SubtensorSpec, dims: &[usize]) -> Result<(), QueryError> {
+    if spec.ndims() != dims.len() {
+        return Err(QueryError::ModeCountMismatch {
+            expected: dims.len(),
+            got: spec.ndims(),
+        });
+    }
+    for (mode, &dim) in dims.iter().enumerate() {
+        if spec.mode_indices(mode).is_empty() {
+            return Err(QueryError::EmptyRange { mode });
+        }
+        for &index in spec.mode_indices(mode) {
+            if index >= dim {
+                return Err(QueryError::IndexOutOfBounds { mode, index, dim });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_validation_covers_every_failure_mode() {
+        let dims = [4usize, 5];
+        assert!(validate_ranges(&[(0, 4), (2, 3)], &dims).is_ok());
+        assert!(matches!(
+            validate_ranges(&[(0, 4)], &dims),
+            Err(QueryError::ModeCountMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            validate_ranges(&[(0, 0), (0, 5)], &dims),
+            Err(QueryError::EmptyRange { mode: 0 })
+        ));
+        assert!(matches!(
+            validate_ranges(&[(0, 4), (3, 3)], &dims),
+            Err(QueryError::RangeOutOfBounds { mode: 1, .. })
+        ));
+        // start + len overflowing usize must not wrap into "valid".
+        assert!(matches!(
+            validate_ranges(&[(usize::MAX, 2), (0, 5)], &dims),
+            Err(QueryError::RangeOutOfBounds { mode: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn point_and_slice_validation() {
+        let dims = [3usize, 2];
+        assert!(validate_point(&[2, 1], &dims).is_ok());
+        assert!(matches!(
+            validate_point(&[2, 2], &dims),
+            Err(QueryError::IndexOutOfBounds {
+                mode: 1,
+                index: 2,
+                dim: 2
+            })
+        ));
+        assert!(matches!(
+            validate_point(&[1], &dims),
+            Err(QueryError::ModeCountMismatch { .. })
+        ));
+        assert!(validate_slice(0, 2, &dims).is_ok());
+        assert!(matches!(
+            validate_slice(2, 0, &dims),
+            Err(QueryError::ModeOutOfRange { mode: 2, ndims: 2 })
+        ));
+        assert!(matches!(
+            validate_slice(1, 5, &dims),
+            Err(QueryError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn spec_validation_rejects_empty_mode_selections() {
+        // An empty per-mode index list (reachable via from_ranges with
+        // len 0) must fail like the equivalent range query, not silently
+        // reconstruct an empty tensor.
+        let dims = [4usize, 5];
+        let empty = SubtensorSpec::from_ranges(&[(0, 0), (0, 5)]);
+        assert!(matches!(
+            validate_spec(&empty, &dims),
+            Err(QueryError::EmptyRange { mode: 0 })
+        ));
+        let ok = SubtensorSpec::from_ranges(&[(1, 2), (0, 5)]);
+        assert!(validate_spec(&ok, &dims).is_ok());
+        assert!(matches!(
+            validate_spec(&ok, &[4]),
+            Err(QueryError::ModeCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_format_and_chain() {
+        let e = QueryError::RangeOutOfBounds {
+            mode: 1,
+            start: 3,
+            len: 4,
+            dim: 5,
+        };
+        assert!(format!("{e}").contains("mode 1"));
+        let io_err = QueryError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(std::error::Error::source(&io_err).is_some());
+    }
+}

@@ -1,30 +1,36 @@
 //! Opening `.tkr` artifacts and serving partial-reconstruction queries.
 //!
-//! [`TkrArtifact::open`] parses the header, decodes the factor and core
-//! blocks, and validates completeness. Queries then never touch the original
-//! data size: [`TkrArtifact::reconstruct_range`] /
+//! [`TkrArtifact::open`] is the *eager* reader: one framing scan (shared
+//! with the lazy [`crate::TkrReader`] — see [`crate::lazy`]), then every
+//! core chunk decoded up front. Queries then never touch the original data
+//! size: [`TkrArtifact::reconstruct_range`] /
 //! [`TkrArtifact::reconstruct_subtensor`] contract the core against **row
 //! subsets** of the factors (cost scales with the requested window),
 //! [`TkrArtifact::reconstruct_slice`] pulls one plane (one species, one
-//! timestep), and [`TkrArtifact::element`] evaluates a single entry in
-//! `O(N·∏R_n)` — the laptop-scale analysis workflow the paper motivates in
-//! Secs. II-C and VII.
+//! timestep), [`TkrArtifact::element`] evaluates a single entry in
+//! `O(N·∏R)`, and [`TkrArtifact::elements`] batches point queries through a
+//! shared `O(∏R)`-per-point contraction — the laptop-scale analysis
+//! workflow the paper motivates in Secs. II-C and VII.
+//!
+//! Degenerate requests (wrong arity, empty or out-of-range windows, bad
+//! indices) return a typed [`QueryError`] instead of panicking; the lazy
+//! reader validates identically.
 
 use crate::codec::Codec;
-use crate::format::{invalid, read_u32, read_u64, TkrHeader, TAG_CORE_CHUNK, TAG_END, TAG_FACTOR};
-use std::fs::File;
-use std::io::{self, BufReader, Read};
+use crate::lazy::{scan_artifact, ChunkEntry, ScannedArtifact};
+use crate::query::{validate_point, validate_ranges, validate_slice, validate_spec, QueryError};
+use crate::writer::codec_wave_chunks;
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
 use tucker_core::reconstruct::{reconstruct_element, reconstruct_slice, reconstruct_subtensor};
 use tucker_core::TuckerTensor;
 use tucker_exec::ExecContext;
-use tucker_linalg::Matrix;
 use tucker_tensor::{DenseTensor, SubtensorSpec};
 
 /// An opened `.tkr` artifact: parsed header plus the decoded decomposition.
 #[derive(Debug, Clone)]
 pub struct TkrArtifact {
-    header: TkrHeader,
+    header: crate::format::TkrHeader,
     tucker: TuckerTensor,
     file_bytes: u64,
 }
@@ -35,127 +41,23 @@ impl TkrArtifact {
         TkrArtifact::open_ctx(path, ExecContext::global())
     }
 
-    /// [`TkrArtifact::open`] on an explicit execution context: the scan pass
-    /// reads and validates the framing sequentially, then the buffered core
-    /// chunk payloads are codec-decoded in parallel into disjoint ranges of
-    /// the core. Decoded values are bit-identical for every thread count.
+    /// [`TkrArtifact::open`] on an explicit execution context: the shared
+    /// scan pass reads and validates the framing and builds the chunk
+    /// directory, then every core chunk is codec-decoded in parallel waves
+    /// into its disjoint range of the core. Decoded values are bit-identical
+    /// for every thread count. The eager reader is exactly the lazy reader's
+    /// scan plus a decode-everything pass — one code path validates both.
     pub fn open_ctx(path: impl AsRef<Path>, ctx: &ExecContext) -> io::Result<TkrArtifact> {
-        let file = File::open(&path)?;
-        let file_bytes = file.metadata()?.len();
-        let mut r = BufReader::new(file);
-        let header = TkrHeader::read_from(&mut r)?;
-        let ndims = header.ndims();
-        let codec = header.codec;
-
-        // A block's payload can never hold more values than the file has
-        // bytes per value, so bound every declared allocation by the file
-        // size — a corrupt header must fail here, not abort on OOM.
-        let max_vals = (file_bytes / codec.bytes_per_value() as u64) as usize;
-        let core_total: usize = header
-            .ranks
-            .iter()
-            .try_fold(1usize, |acc, &r| acc.checked_mul(r))
-            .filter(|&c| c <= max_vals)
-            .ok_or_else(|| invalid("declared core is larger than the file itself"))?;
-        for (n, (&d, &rk)) in header.dims.iter().zip(header.ranks.iter()).enumerate() {
-            if d.checked_mul(rk).is_none_or(|v| v > max_vals) {
-                return Err(invalid(&format!(
-                    "declared factor {n} is larger than the file itself"
-                )));
-            }
-        }
-
-        let mut factors: Vec<Option<Matrix>> = vec![None; ndims];
+        let ScannedArtifact {
+            header,
+            factors,
+            chunks,
+            core_total,
+            mut file,
+            file_bytes,
+        } = scan_artifact(path)?;
         let mut core_data = vec![0.0f64; core_total];
-        // Raw (still encoded) core chunk payloads awaiting decode. Decoding
-        // happens in bounded waves of a few chunks per pool thread, so the
-        // scan never holds more than one wave of encoded payloads on top of
-        // the decoded core (the old chunk-at-a-time memory profile).
-        let wave = crate::writer::codec_wave_chunks(ctx);
-        let mut pending: Vec<(usize, Vec<u8>)> = Vec::new();
-        let mut decoded_upto = 0usize;
-        let mut core_filled = 0usize;
-        let mut saw_end = false;
-
-        while !saw_end {
-            let mut tag = [0u8; 1];
-            r.read_exact(&mut tag).map_err(|e| {
-                if e.kind() == io::ErrorKind::UnexpectedEof {
-                    invalid("truncated artifact: missing end marker")
-                } else {
-                    e
-                }
-            })?;
-            match tag[0] {
-                TAG_FACTOR => {
-                    let mode = read_u32(&mut r)? as usize;
-                    let rows = read_u64(&mut r)? as usize;
-                    let cols = read_u64(&mut r)? as usize;
-                    if mode >= ndims {
-                        return Err(invalid(&format!("factor block for mode {mode} of {ndims}")));
-                    }
-                    if factors[mode].is_some() {
-                        return Err(invalid(&format!("duplicate factor block for mode {mode}")));
-                    }
-                    if rows != header.dims[mode] || cols != header.ranks[mode] {
-                        return Err(invalid(&format!(
-                            "factor {mode} is {rows}×{cols}, header says {}×{}",
-                            header.dims[mode], header.ranks[mode]
-                        )));
-                    }
-                    let mut u = Matrix::zeros(rows, cols);
-                    for j in 0..cols {
-                        let col = codec.decode_block(&mut r, rows)?;
-                        for (i, &v) in col.iter().enumerate() {
-                            u.set(i, j, v);
-                        }
-                    }
-                    factors[mode] = Some(u);
-                }
-                TAG_CORE_CHUNK => {
-                    let start = read_u64(&mut r)? as usize;
-                    let len = read_u64(&mut r)? as usize;
-                    if start != core_filled {
-                        return Err(invalid(&format!(
-                            "core chunk at {start}, expected next offset {core_filled}"
-                        )));
-                    }
-                    // Overflow-safe: start == core_filled <= core_total here.
-                    if len > core_total - start {
-                        return Err(invalid("core chunk overruns the core"));
-                    }
-                    let mut payload = vec![0u8; codec.block_bytes(len)];
-                    r.read_exact(&mut payload)?;
-                    pending.push((len, payload));
-                    core_filled += len;
-                    if pending.len() >= wave {
-                        decode_wave(codec, ctx, &mut pending, &mut core_data, &mut decoded_upto);
-                    }
-                }
-                TAG_END => {
-                    let declared = read_u64(&mut r)? as usize;
-                    if declared != core_total {
-                        return Err(invalid(&format!(
-                            "end marker declares {declared} core elements, header implies {core_total}"
-                        )));
-                    }
-                    saw_end = true;
-                }
-                t => return Err(invalid(&format!("unknown block tag {t:#x}"))),
-            }
-        }
-        if core_filled != core_total {
-            return Err(invalid(&format!(
-                "core incomplete: {core_filled} of {core_total} elements"
-            )));
-        }
-        decode_wave(codec, ctx, &mut pending, &mut core_data, &mut decoded_upto);
-        debug_assert_eq!(decoded_upto, core_total);
-        let factors: Vec<Matrix> = factors
-            .into_iter()
-            .enumerate()
-            .map(|(n, f)| f.ok_or_else(|| invalid(&format!("missing factor block for mode {n}"))))
-            .collect::<io::Result<_>>()?;
+        decode_all_chunks(header.codec, ctx, &chunks, &mut file, &mut core_data)?;
         let core = DenseTensor::from_vec(&header.ranks, core_data);
         Ok(TkrArtifact {
             tucker: TuckerTensor::new(core, factors),
@@ -166,7 +68,7 @@ impl TkrArtifact {
 
     /// The parsed header (shape, ranks, ε, codec, quantization bound,
     /// metadata).
-    pub fn header(&self) -> &TkrHeader {
+    pub fn header(&self) -> &crate::format::TkrHeader {
         &self.header
     }
 
@@ -204,60 +106,113 @@ impl TkrArtifact {
     }
 
     /// Reconstructs the window given by per-mode `(start, len)` ranges without
-    /// materializing anything outside it.
-    pub fn reconstruct_range(&self, ranges: &[(usize, usize)]) -> DenseTensor {
-        assert_eq!(
-            ranges.len(),
-            self.header.ndims(),
-            "reconstruct_range: one (start, len) range per mode"
-        );
+    /// materializing anything outside it. Degenerate windows (wrong arity,
+    /// empty or out-of-range) return a typed error.
+    pub fn reconstruct_range(&self, ranges: &[(usize, usize)]) -> Result<DenseTensor, QueryError> {
+        validate_ranges(ranges, &self.header.dims)?;
         self.reconstruct_subtensor(&SubtensorSpec::from_ranges(ranges))
     }
 
     /// Reconstructs an arbitrary (possibly non-contiguous) subtensor.
-    pub fn reconstruct_subtensor(&self, spec: &SubtensorSpec) -> DenseTensor {
-        reconstruct_subtensor(&self.tucker, spec)
+    pub fn reconstruct_subtensor(&self, spec: &SubtensorSpec) -> Result<DenseTensor, QueryError> {
+        validate_spec(spec, &self.header.dims)?;
+        Ok(reconstruct_subtensor(&self.tucker, spec))
     }
 
     /// Reconstructs the single mode-`mode` slice at `idx` (one species, one
     /// timestep, one grid plane).
-    pub fn reconstruct_slice(&self, mode: usize, idx: usize) -> DenseTensor {
-        reconstruct_slice(&self.tucker, mode, idx)
+    pub fn reconstruct_slice(&self, mode: usize, idx: usize) -> Result<DenseTensor, QueryError> {
+        validate_slice(mode, idx, &self.header.dims)?;
+        Ok(reconstruct_slice(&self.tucker, mode, idx))
     }
 
     /// Evaluates one element in `O(N·∏R_n)`.
-    pub fn element(&self, idx: &[usize]) -> f64 {
-        reconstruct_element(&self.tucker, idx)
+    pub fn element(&self, idx: &[usize]) -> Result<f64, QueryError> {
+        validate_point(idx, &self.header.dims)?;
+        Ok(reconstruct_element(&self.tucker, idx))
+    }
+
+    /// Batched element queries.
+    ///
+    /// Instead of paying [`TkrArtifact::element`]'s full `O(N·∏R)` walk per
+    /// point, each point contracts the core against its factor rows one mode
+    /// at a time from the last mode inward — `O(∏R·(1 + 1/R_N + …)) ≈
+    /// O(∏R)` per point — with the factor-row slices and the two ping-pong
+    /// contraction buffers shared across the whole batch (no per-point
+    /// allocation). Same sum as `element` in a different association order,
+    /// so results agree to floating-point round-off, not bit-for-bit.
+    pub fn elements(&self, points: &[&[usize]]) -> Result<Vec<f64>, QueryError> {
+        for p in points {
+            validate_point(p, &self.header.dims)?;
+        }
+        let core = &self.tucker.core;
+        let ranks = core.dims();
+        let ndims = ranks.len();
+        // One contraction buffer shared by the whole batch. Contracting in
+        // place is safe: output `l` reads positions `l + r·stride ≥ l`, and
+        // only positions `< l` have been overwritten when it is computed.
+        let mut cur: Vec<f64> = Vec::with_capacity(core.len());
+        let mut out = Vec::with_capacity(points.len());
+        for point in points {
+            cur.clear();
+            cur.extend_from_slice(core.as_slice());
+            let mut cur_len: usize = core.len();
+            for n in (0..ndims).rev() {
+                let stride = cur_len / ranks[n];
+                let row = self.tucker.factors[n].row(point[n]);
+                for l in 0..stride {
+                    let mut s = 0.0;
+                    for (r, &u) in row.iter().enumerate() {
+                        s += cur[l + r * stride] * u;
+                    }
+                    cur[l] = s;
+                }
+                cur_len = stride;
+            }
+            out.push(cur[0]);
+        }
+        Ok(out)
     }
 }
 
-/// Decodes one wave of buffered core-chunk payloads in parallel into the
-/// consecutive core range starting at `*decoded_upto`, draining `pending`.
-/// Chunks were validated to be contiguous during the scan, so pairing each
-/// with its disjoint slice in arrival order is exact; the exactly-sized
-/// payload buffers make in-memory decoding infallible.
-fn decode_wave(
+/// Decodes every chunk of a scanned artifact into `core_data`, in waves of a
+/// few chunks per pool thread: payloads are read sequentially, decoded in
+/// parallel into disjoint core ranges, and no more than one wave of encoded
+/// payloads is ever held alongside the decoded core.
+fn decode_all_chunks(
     codec: Codec,
     ctx: &ExecContext,
-    pending: &mut Vec<(usize, Vec<u8>)>,
+    chunks: &[ChunkEntry],
+    file: &mut BufReader<std::fs::File>,
     core_data: &mut [f64],
-    decoded_upto: &mut usize,
-) {
-    if pending.is_empty() {
-        return;
+) -> io::Result<()> {
+    let wave = codec_wave_chunks(ctx);
+    let mut base = 0usize;
+    while base < chunks.len() {
+        let batch = &chunks[base..(base + wave).min(chunks.len())];
+        // Read this wave's payloads (sequential IO, ascending offsets).
+        let mut slots: Vec<(ChunkEntry, Vec<u8>, &mut [f64])> = Vec::with_capacity(batch.len());
+        let mut rest = &mut core_data[batch[0].start..];
+        let mut upto = batch[0].start;
+        for entry in batch {
+            let mut payload = vec![0u8; codec.block_bytes(entry.len)];
+            file.seek(SeekFrom::Start(entry.offset))?;
+            file.read_exact(&mut payload)?;
+            debug_assert_eq!(entry.start, upto);
+            let (dst, tail) = rest.split_at_mut(entry.len);
+            rest = tail;
+            upto += entry.len;
+            slots.push((*entry, payload, dst));
+        }
+        // Decode in parallel; the exactly-sized payload buffers make the
+        // in-memory decode infallible.
+        ctx.for_each_slot(&mut slots, |_, (entry, payload, dst)| {
+            let decoded = codec
+                .decode_block(&mut io::Cursor::new(&payload[..]), entry.len)
+                .expect("in-memory decode of an exactly-sized payload cannot fail");
+            dst.copy_from_slice(&decoded);
+        });
+        base += batch.len();
     }
-    let mut slots: Vec<((usize, Vec<u8>), &mut [f64])> = Vec::with_capacity(pending.len());
-    let mut rest = &mut core_data[*decoded_upto..];
-    for (len, payload) in pending.drain(..) {
-        let (dst, tail) = rest.split_at_mut(len);
-        rest = tail;
-        *decoded_upto += len;
-        slots.push(((len, payload), dst));
-    }
-    ctx.for_each_slot(&mut slots, |_, ((len, payload), dst)| {
-        let decoded = codec
-            .decode_block(&mut io::Cursor::new(&payload[..]), *len)
-            .expect("in-memory decode of an exactly-sized payload cannot fail");
-        dst.copy_from_slice(&decoded);
-    });
+    Ok(())
 }

@@ -32,10 +32,13 @@ use std::fs::File;
 use std::io::{self, BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
 use tucker_core::dist::DistTucker;
+use tucker_core::sthosvd::{SthosvdOptions, SthosvdResult};
+use tucker_core::streaming::{st_hosvd_streaming_ctx, StreamingOptions};
 use tucker_core::TuckerTensor;
 use tucker_distmem::Communicator;
 use tucker_exec::ExecContext;
 use tucker_linalg::Matrix;
+use tucker_tensor::{DenseTensor, SlabSource};
 
 /// Target elements per core chunk used by [`write_tucker`] (whole slabs are
 /// never split, so actual chunks may be larger when one slab exceeds this).
@@ -380,18 +383,49 @@ pub fn write_tucker_ctx(
     for (n, u) in t.factors.iter().enumerate() {
         w.write_factor(n, u)?;
     }
-    let stride = t.core.last_mode_stride().max(1);
-    let last = *t.core.dims().last().expect("core has at least one mode");
+    w.write_core_chunks_ctx(&core_slab_chunks(&t.core), ctx)?;
+    w.finish()
+}
+
+/// Groups a core into runs of whole last-mode slabs of about
+/// [`CHUNK_TARGET_ELEMS`] elements — the chunking policy of
+/// [`write_tucker_ctx`] (and therefore of [`compress_streaming`], which
+/// serializes through it).
+fn core_slab_chunks(core: &DenseTensor) -> Vec<&[f64]> {
+    let stride = core.last_mode_stride().max(1);
+    let last = *core.dims().last().expect("core has at least one mode");
     let slabs_per_chunk = (CHUNK_TARGET_ELEMS / stride).max(1);
-    let mut chunks = Vec::with_capacity(last.div_ceil(slabs_per_chunk.max(1)));
+    let mut chunks = Vec::with_capacity(last.div_ceil(slabs_per_chunk));
     let mut s = 0;
     while s < last {
         let len = slabs_per_chunk.min(last - s);
-        chunks.push(t.core.last_mode_slab(s, len));
+        chunks.push(core.last_mode_slab(s, len));
         s += len;
     }
-    w.write_core_chunks_ctx(&chunks, ctx)?;
-    w.finish()
+    chunks
+}
+
+/// The out-of-core compression pipeline end to end: streams `src` through
+/// the two-phase [`st_hosvd_streaming_ctx`] (peak memory `O(slab +
+/// truncated tensor)` — the full tensor is never resident) and writes the
+/// resulting decomposition to `path`, core slabs chunked straight into the
+/// [`TkrWriter`].
+///
+/// The artifact is **byte-identical** to materializing the source, running
+/// `st_hosvd_ctx`, and calling [`write_tucker_ctx`] — the decomposition is
+/// bit-identical, and serialization *is* `write_tucker_ctx` — for every
+/// slab width and thread count (pinned in `tests/streaming.rs`).
+pub fn compress_streaming(
+    path: impl AsRef<Path>,
+    src: &impl SlabSource,
+    sth: &SthosvdOptions,
+    stream: &StreamingOptions,
+    opts: &StoreOptions,
+    ctx: &ExecContext,
+) -> io::Result<(SthosvdResult, EncodeReport)> {
+    let result = st_hosvd_streaming_ctx(src, sth, stream, ctx);
+    let report = write_tucker_ctx(path, &result.tucker, opts, ctx)?;
+    Ok((result, report))
 }
 
 /// Distributed export (the paper's Sec. VI output step): gathers the

@@ -2,6 +2,41 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Error returned by the checked slab accessors
+/// [`DenseTensor::try_last_mode_slab`] / [`DenseTensor::try_last_mode_slab_mut`]
+/// when the requested last-mode range does not fit inside the tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlabRangeError {
+    /// First last-mode index of the requested slab.
+    pub start: usize,
+    /// Number of last-mode steps requested.
+    pub len: usize,
+    /// The size of the last mode.
+    pub last_dim: usize,
+}
+
+impl std::fmt::Display for SlabRangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.len == 0 {
+            write!(
+                f,
+                "empty last-mode slab (start {}, len 0, last dim {})",
+                self.start, self.last_dim
+            )
+        } else {
+            write!(
+                f,
+                "last-mode slab {}..{} exceeds last dim {}",
+                self.start,
+                self.start.saturating_add(self.len),
+                self.last_dim
+            )
+        }
+    }
+}
+
+impl std::error::Error for SlabRangeError {}
+
 /// A dense, owned, N-way tensor of `f64`.
 ///
 /// Element `(i_1, i_2, …, i_N)` is stored at linear offset
@@ -145,6 +180,55 @@ impl DenseTensor {
         );
         let stride = self.last_mode_stride();
         &self.data[start * stride..(start + len) * stride]
+    }
+
+    /// Mutable borrow of the contiguous slab covering last-mode indices
+    /// `[start, start + len)` — the write-side counterpart of
+    /// [`DenseTensor::last_mode_slab`], used by the pass-2 streaming driver to
+    /// assemble the truncated tensor slab by slab in place.
+    ///
+    /// # Panics
+    /// Panics if `start + len` exceeds the last dimension.
+    pub fn last_mode_slab_mut(&mut self, start: usize, len: usize) -> &mut [f64] {
+        let last = *self.dims.last().expect("tensor has at least one mode");
+        assert!(
+            start + len <= last,
+            "last_mode_slab_mut: range {start}+{len} exceeds last dim {last}"
+        );
+        let stride = self.last_mode_stride();
+        &mut self.data[start * stride..(start + len) * stride]
+    }
+
+    /// Checked variant of [`DenseTensor::last_mode_slab`]: returns a typed
+    /// error instead of panicking on an empty or out-of-range request
+    /// (overflow-safe).
+    pub fn try_last_mode_slab(&self, start: usize, len: usize) -> Result<&[f64], SlabRangeError> {
+        self.check_slab_range(start, len)?;
+        Ok(self.last_mode_slab(start, len))
+    }
+
+    /// Checked variant of [`DenseTensor::last_mode_slab_mut`].
+    pub fn try_last_mode_slab_mut(
+        &mut self,
+        start: usize,
+        len: usize,
+    ) -> Result<&mut [f64], SlabRangeError> {
+        self.check_slab_range(start, len)?;
+        Ok(self.last_mode_slab_mut(start, len))
+    }
+
+    fn check_slab_range(&self, start: usize, len: usize) -> Result<(), SlabRangeError> {
+        let last = *self.dims.last().expect("tensor has at least one mode");
+        let in_range = len > 0 && start.checked_add(len).is_some_and(|end| end <= last);
+        if in_range {
+            Ok(())
+        } else {
+            Err(SlabRangeError {
+                start,
+                len,
+                last_dim: last,
+            })
+        }
     }
 
     /// Converts a multi-index to the linear offset in the backing buffer.
@@ -294,6 +378,34 @@ mod tests {
     #[should_panic]
     fn last_mode_slab_out_of_range_panics() {
         DenseTensor::zeros(&[2, 3]).last_mode_slab(2, 2);
+    }
+
+    #[test]
+    fn last_mode_slab_mut_writes_in_place() {
+        let mut t = DenseTensor::zeros(&[2, 3, 4]);
+        t.last_mode_slab_mut(1, 2).fill(7.0);
+        for step in 0..4 {
+            let expect = if (1..3).contains(&step) { 7.0 } else { 0.0 };
+            assert!(t.last_mode_slab(step, 1).iter().all(|&v| v == expect));
+        }
+    }
+
+    #[test]
+    fn try_last_mode_slab_rejects_degenerate_ranges() {
+        let mut t = DenseTensor::from_fn(&[2, 3], |idx| idx[1] as f64);
+        // Valid request round-trips through both checked accessors.
+        assert_eq!(t.try_last_mode_slab(1, 2).unwrap(), &[1.0, 1.0, 2.0, 2.0]);
+        t.try_last_mode_slab_mut(0, 1).unwrap().fill(9.0);
+        assert_eq!(t.get(&[0, 0]), 9.0);
+        // Empty, out-of-range, and overflowing requests all fail typed.
+        let empty = t.try_last_mode_slab(1, 0).unwrap_err();
+        assert_eq!(empty.len, 0);
+        let over = t.try_last_mode_slab(2, 2).unwrap_err();
+        assert_eq!((over.start, over.len, over.last_dim), (2, 2, 3));
+        assert!(t.try_last_mode_slab(usize::MAX, 2).is_err());
+        assert!(t.try_last_mode_slab_mut(3, 1).is_err());
+        // The error formats without panicking.
+        assert!(format!("{over}").contains("exceeds"));
     }
 
     #[test]

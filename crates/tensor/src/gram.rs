@@ -44,21 +44,53 @@ pub fn gram_into(y: &DenseTensor, mode: usize, s: &mut Matrix) {
 /// element of `S` accumulates in exactly the sequential order, so results
 /// are bit-identical across thread counts.
 pub fn gram_into_ctx(ctx: &ExecContext, y: &DenseTensor, mode: usize, s: &mut Matrix) {
-    let dims = y.dims();
-    let n = dims[mode];
+    let n = y.dim(mode);
     assert_eq!(s.shape(), (n, n), "gram_into: output must be I_n × I_n");
+    s.as_mut_slice().fill(0.0);
+    gram_accumulate_ctx(ctx, y, mode, s);
+}
+
+/// Accumulating Gram kernel: `S ← S + Y(n) Y(n)ᵀ` on the global pool.
+pub fn gram_accumulate(y: &DenseTensor, mode: usize, s: &mut Matrix) {
+    gram_accumulate_ctx(ExecContext::global(), y, mode, s)
+}
+
+/// [`gram_accumulate`] on an explicit execution context — the streaming
+/// building block of the out-of-core ST-HOSVD.
+///
+/// When `y` is one last-mode slab of a larger tensor and `mode` is **not**
+/// the last mode, the slab's unfolding blocks are a contiguous run of the
+/// full tensor's blocks, so accumulating consecutive slabs in order performs
+/// exactly the per-element additions of [`gram_into_ctx`] on the full tensor:
+/// the result is **bit-identical** for every slab width (general modes add
+/// one SYRK contribution per block in ascending block order; the first mode
+/// splits the GEMM contraction dimension, whose per-element accumulation in
+/// `gemm_slices` is a single running sum in ascending order).
+pub fn gram_accumulate_ctx(ctx: &ExecContext, y: &DenseTensor, mode: usize, s: &mut Matrix) {
+    let dims = y.dims();
+    assert!(
+        mode < dims.len(),
+        "gram_accumulate: mode {mode} out of range"
+    );
+    let n = dims[mode];
+    assert_eq!(
+        s.shape(),
+        (n, n),
+        "gram_accumulate: output must be I_n × I_n"
+    );
     let unf = Unfolding::new(dims, mode);
     let data = y.as_slice();
     let ldc = s.cols();
 
     if n == 0 || y.is_empty() {
-        s.as_mut_slice().fill(0.0);
         return;
     }
 
     if unf.left == 1 {
         // First mode: the whole buffer is a column-major I_n × Î_n matrix,
-        // i.e. a row-major Î_n × I_n matrix D, and S = Dᵀ·D — one blocked GEMM.
+        // i.e. a row-major Î_n × I_n matrix D, and S += Dᵀ·D — one blocked
+        // GEMM with beta = 1 (the caller zeroes S, so a single call matches
+        // the historical beta = 0 path bit for bit).
         let cols = unf.cols();
         gemm_slices_ctx(
             ctx,
@@ -73,7 +105,7 @@ pub fn gram_into_ctx(ctx: &ExecContext, y: &DenseTensor, mode: usize, s: &mut Ma
             cols,
             n,
             n,
-            0.0,
+            1.0,
             s.as_mut_slice(),
             ldc,
         );
@@ -83,7 +115,6 @@ pub fn gram_into_ctx(ctx: &ExecContext, y: &DenseTensor, mode: usize, s: &mut Ma
     // General mode: accumulate one SYRK contribution per contiguous subblock
     // (each block is a row-major I_n × left matrix with leading dimension
     // `left`).
-    s.as_mut_slice().fill(0.0);
     let left = unf.left;
     let right = unf.right;
     let work = right.saturating_mul(left).saturating_mul(n * (n + 1) / 2);
@@ -325,6 +356,42 @@ mod tests {
                 let ctx = tucker_exec::ExecContext::new(threads);
                 let s = gram_pair_ctx(&ctx, &y, &w, mode);
                 assert_eq!(s.as_slice(), baseline.as_slice(), "mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn slab_accumulation_is_bit_identical_for_every_width() {
+        // Accumulating the Gram slab by slab (any slab width, any thread
+        // count) must reproduce the full-tensor Gram *bitwise* for every
+        // non-last mode — the contract `st_hosvd_streaming` is built on.
+        let mut rng = StdRng::seed_from_u64(68);
+        // Large enough that mode 0 clears the parallel GEMM threshold.
+        let dims = [19usize, 7, 5, 23];
+        let y = random_tensor(&mut rng, &dims);
+        let stride = y.last_mode_stride();
+        for mode in 0..3 {
+            let full = gram(&y, mode);
+            for width in [1usize, 3, 23] {
+                for threads in [1usize, 4] {
+                    let ctx = tucker_exec::ExecContext::new(threads);
+                    let mut s = Matrix::zeros(dims[mode], dims[mode]);
+                    let mut start = 0;
+                    while start < dims[3] {
+                        let w = width.min(dims[3] - start);
+                        let slab = DenseTensor::from_vec(
+                            &[19, 7, 5, w],
+                            y.as_slice()[start * stride..(start + w) * stride].to_vec(),
+                        );
+                        gram_accumulate_ctx(&ctx, &slab, mode, &mut s);
+                        start += w;
+                    }
+                    assert_eq!(
+                        s.as_slice(),
+                        full.as_slice(),
+                        "mode {mode}, width {width}, threads {threads}"
+                    );
+                }
             }
         }
     }

@@ -14,19 +14,27 @@
 //! * [`gram`](mod@gram)   — Gram matrices of unfoldings, `S = Y(n) Y(n)ᵀ`.
 //! * [`norms`]  — tensor norms and the error metrics reported in the paper.
 //! * [`slice`](mod@slice)  — subtensor extraction/insertion (for partial reconstruction).
+//! * [`stream`] — the [`SlabSource`] trait and slab kernels of the
+//!   out-of-core pipeline (last-mode slabs, bit-identical to the in-memory
+//!   kernels for every slab width).
 
 pub mod dense;
 pub mod gram;
 pub mod layout;
 pub mod norms;
 pub mod slice;
+pub mod stream;
 pub mod ttm;
 
-pub use dense::DenseTensor;
-pub use gram::{gram, gram_ctx, gram_into, gram_into_ctx, gram_pair, gram_pair_ctx};
+pub use dense::{DenseTensor, SlabRangeError};
+pub use gram::{
+    gram, gram_accumulate, gram_accumulate_ctx, gram_ctx, gram_into, gram_into_ctx, gram_pair,
+    gram_pair_ctx,
+};
 pub use layout::Unfolding;
 pub use norms::{frob_norm, max_abs_diff, normalized_rms_error, relative_error};
 pub use slice::{extract_subtensor, SubtensorSpec};
+pub use stream::{take_slab, ttm_slab_chain_ctx, ttm_slab_ctx, SlabSource};
 pub use ttm::{
     multi_ttm, multi_ttm_ctx, ttm, ttm_chain, ttm_chain_ctx, ttm_ctx, ttm_into, ttm_into_ctx,
     TtmTranspose,

@@ -62,7 +62,7 @@ proptest! {
 
             // Partial == sliced full reconstruction, bit for bit.
             let full = artifact.reconstruct();
-            let window = artifact.reconstruct_subtensor(&spec);
+            let window = artifact.reconstruct_subtensor(&spec).unwrap();
             let expected = extract_subtensor(&full, &spec);
             prop_assert_eq!(&window, &expected);
 
@@ -125,7 +125,7 @@ fn sp_surrogate_round_trips_within_eps_for_all_codecs() {
             codec.name()
         );
 
-        let window = artifact.reconstruct_range(&window_ranges);
+        let window = artifact.reconstruct_range(&window_ranges).unwrap();
         let expected = extract_subtensor(&full, &SubtensorSpec::from_ranges(&window_ranges));
         assert_eq!(
             window,
@@ -171,7 +171,7 @@ fn sp_dist_tucker_round_trips_on_nontrivial_grid() {
 
         // Window query bit-identical to slicing, on the distributed artifact.
         let ranges: Vec<(usize, usize)> = vec![(0, 6), (0, 6), (12, 6), (0, 4), (8, 5)];
-        let window = artifact.reconstruct_range(&ranges);
+        let window = artifact.reconstruct_range(&ranges).unwrap();
         let expected = extract_subtensor(&full, &SubtensorSpec::from_ranges(&ranges));
         assert_eq!(window, expected);
     }
@@ -229,6 +229,69 @@ fn parallel_encode_and_decode_are_byte_and_bit_identical() {
                 assert_eq!(a.as_slice(), b.as_slice());
             }
         }
+    }
+}
+
+/// ISSUE 4 acceptance criterion: the lazy `TkrReader` answers
+/// `reconstruct_range`/`element` queries with **byte-identical** results to
+/// the eager reader, without ever decoding more than the touched chunks +
+/// cache capacity — pinned here on the SP surrogate for every codec.
+#[test]
+fn lazy_reader_is_byte_identical_to_eager_on_sp_surrogate() {
+    let eps = 1e-3;
+    let ds = DatasetPreset::Sp.generate(1, 2024);
+    let result = st_hosvd(&ds.data, &SthosvdOptions::with_tolerance(eps));
+    let window: Vec<(usize, usize)> = vec![(6, 6), (9, 6), (0, 6), (2, 4), (5, 5)];
+
+    for codec in Codec::all() {
+        // One chunk per core timestep so the lazy reader has a real chunk
+        // directory to manage.
+        let path = temp_tkr(&format!("lazy_sp_{}", codec.name()));
+        let t = &result.tucker;
+        let header = tucker_store::TkrHeader {
+            dims: t.original_dims(),
+            ranks: t.ranks(),
+            eps,
+            codec,
+            quant_error_bound: 0.0,
+            meta: TkrMetadata::for_dataset(&ds),
+        };
+        let mut w = tucker_store::TkrWriter::create(&path, header).unwrap();
+        for (n, u) in t.factors.iter().enumerate() {
+            w.write_factor(n, u).unwrap();
+        }
+        let last = *t.core.dims().last().unwrap();
+        for s in 0..last {
+            w.write_core_chunk(t.core.last_mode_slab(s, 1)).unwrap();
+        }
+        w.finish().unwrap();
+
+        let eager = TkrArtifact::open(&path).unwrap();
+        let lazy = tucker_store::TkrReader::open_with(&path, 3, tucker_exec::ExecContext::global())
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(lazy.decoded_chunks(), 0, "open must not decode the core");
+        assert_eq!(
+            lazy.reconstruct_range(&window).unwrap(),
+            eager.reconstruct_range(&window).unwrap(),
+            "{}: lazy window differs from eager",
+            codec.name()
+        );
+        // A window query touches every chunk exactly once…
+        assert_eq!(lazy.decoded_chunks(), lazy.chunk_count());
+        // …and never holds more than the cache capacity resident.
+        assert!(lazy.resident_chunks() <= 3);
+
+        for idx in [[0usize, 0, 0, 0, 0], [23, 23, 23, 7, 15], [5, 9, 13, 3, 8]] {
+            assert_eq!(
+                lazy.element(&idx).unwrap().to_bits(),
+                eager.element(&idx).unwrap().to_bits(),
+                "{}: element {idx:?} differs",
+                codec.name()
+            );
+        }
+        assert_eq!(lazy.header().meta.dataset, "SP");
     }
 }
 

@@ -40,6 +40,38 @@ echo "== table5_memory (out-of-core peak-memory gate) =="
 # the two artifacts are not byte-identical.
 cargo run --release -p tucker-bench --bin table5_memory
 
+echo "== cargo doc -p tucker-api (missing/broken docs are errors) =="
+# The facade crate carries #![deny(missing_docs)]; this pass additionally
+# promotes rustdoc warnings (broken intra-doc links, bad code fences) to
+# errors so the documented surface cannot rot.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p tucker-api --quiet
+
+echo "== panic-grep gate on the fallible-surface modules =="
+# The try_* validation layers promise "every failure is a returned value".
+# Fail CI if a panic!/unwrap/expect/assert lands in them (doc comments and
+# #[cfg(test)] modules are stripped before grepping).
+gate_ok=1
+for f in crates/api/src/lib.rs crates/api/src/error.rs \
+         crates/api/src/compressor.rs crates/api/src/query.rs \
+         crates/core/src/validate.rs crates/store/src/error.rs; do
+  if [ ! -f "$f" ]; then
+    echo "panic-grep gate: fallible-surface file $f is missing (renamed? update ci.sh)"
+    gate_ok=0
+    continue
+  fi
+  if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
+      | grep -v '^[[:space:]]*//' \
+      | grep -nE 'panic!|\.unwrap\(\)|\.expect\(|unreachable!|todo!|unimplemented!|assert!|assert_eq!|assert_ne!' ; then
+    echo "panic-grep gate: forbidden pattern in fallible-surface file $f"
+    gate_ok=0
+  fi
+done
+if [ "$gate_ok" -ne 1 ]; then
+  echo "panic-grep gate FAILED"
+  exit 1
+fi
+echo "panic-grep gate OK"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -1,0 +1,185 @@
+//! [`TuckerError`] — the one error type of the public facade.
+//!
+//! Every fallible operation reachable through `tucker-api` funnels into this
+//! hierarchy, with `From` conversions from every constituent crate's error
+//! types, so callers can `?` their way through a whole compress–store–query
+//! pipeline with a single error type:
+//!
+//! | variant | source | typical cause |
+//! |---|---|---|
+//! | [`TuckerError::Shape`]  | `tucker_core::validate::ShapeError`  | empty/zero-extent shape, bad mode order, bad grid |
+//! | [`TuckerError::Rank`]   | `tucker_core::validate::RankError`   | ranks exceeding dims, bad tolerance |
+//! | [`TuckerError::Codec`]  | `tucker_store::CodecError`           | unknown codec id |
+//! | [`TuckerError::Format`] | `tucker_store::FormatError`          | container-contract violations, corrupt artifacts |
+//! | [`TuckerError::Query`]  | `tucker_store::QueryError`           | out-of-range reconstruction requests |
+//! | [`TuckerError::Slab`]   | `tucker_tensor::SlabRangeError`      | last-mode slab windows outside the tensor |
+//! | [`TuckerError::Plan`]   | this crate                           | an unsatisfiable [`Compressor`](crate::Compressor) configuration (no target, refine-on-streaming) |
+//! | [`TuckerError::Io`]     | `std::io::Error`                     | filesystem failures |
+
+use std::fmt;
+use std::io;
+use tucker_core::validate::{CoreError, RankError, ShapeError};
+use tucker_store::{CodecError, FormatError, QueryError, StoreError};
+use tucker_tensor::SlabRangeError;
+
+/// Why a [`Compressor`](crate::Compressor) configuration cannot be planned,
+/// even though each individual setting is well-formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Neither [`tolerance`](crate::Compressor::tolerance) nor
+    /// [`ranks`](crate::Compressor::ranks) was set — the plan has no
+    /// compression target.
+    NoTarget,
+    /// [`refine`](crate::Compressor::refine) on a streaming source: HOOI
+    /// sweeps revisit the full tensor once per mode and iteration, which
+    /// defeats the out-of-core contract. Materialize the source (or skip
+    /// refinement).
+    RefineNeedsResident,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoTarget => write!(
+                f,
+                "no compression target: set .tolerance(eps) or .ranks(..) before planning"
+            ),
+            PlanError::RefineNeedsResident => write!(
+                f,
+                "HOOI refinement needs a resident tensor; streaming sources cannot be refined"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The workspace-wide error hierarchy of the public facade.
+#[derive(Debug)]
+pub enum TuckerError {
+    /// A structurally invalid tensor shape, mode ordering, or grid.
+    Shape(ShapeError),
+    /// An invalid rank selection or tolerance.
+    Rank(RankError),
+    /// An invalid or unsupported value encoding.
+    Codec(CodecError),
+    /// A `.tkr` container-contract violation or corrupt artifact.
+    Format(FormatError),
+    /// An out-of-range or malformed reconstruction query.
+    Query(QueryError),
+    /// A last-mode slab window outside the tensor (from the checked slab
+    /// accessors of `tucker-tensor`).
+    Slab(SlabRangeError),
+    /// An unsatisfiable [`Compressor`](crate::Compressor) configuration.
+    Plan(PlanError),
+    /// An IO failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for TuckerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuckerError::Shape(e) => write!(f, "shape error: {e}"),
+            TuckerError::Rank(e) => write!(f, "rank error: {e}"),
+            TuckerError::Codec(e) => write!(f, "codec error: {e}"),
+            TuckerError::Format(e) => write!(f, "format error: {e}"),
+            TuckerError::Query(e) => write!(f, "query error: {e}"),
+            TuckerError::Slab(e) => write!(f, "slab error: {e}"),
+            TuckerError::Plan(e) => write!(f, "plan error: {e}"),
+            TuckerError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuckerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TuckerError::Shape(e) => Some(e),
+            TuckerError::Rank(e) => Some(e),
+            TuckerError::Codec(e) => Some(e),
+            TuckerError::Format(e) => Some(e),
+            TuckerError::Query(e) => Some(e),
+            TuckerError::Slab(e) => Some(e),
+            TuckerError::Plan(e) => Some(e),
+            TuckerError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ShapeError> for TuckerError {
+    fn from(e: ShapeError) -> Self {
+        TuckerError::Shape(e)
+    }
+}
+
+impl From<RankError> for TuckerError {
+    fn from(e: RankError) -> Self {
+        TuckerError::Rank(e)
+    }
+}
+
+impl From<CoreError> for TuckerError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::Shape(s) => TuckerError::Shape(s),
+            CoreError::Rank(r) => TuckerError::Rank(r),
+        }
+    }
+}
+
+impl From<CodecError> for TuckerError {
+    fn from(e: CodecError) -> Self {
+        TuckerError::Codec(e)
+    }
+}
+
+impl From<FormatError> for TuckerError {
+    fn from(e: FormatError) -> Self {
+        TuckerError::Format(e)
+    }
+}
+
+impl From<StoreError> for TuckerError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Format(f) => TuckerError::Format(f),
+            StoreError::Codec(c) => TuckerError::Codec(c),
+            StoreError::Io(io) => TuckerError::Io(io),
+        }
+    }
+}
+
+impl From<QueryError> for TuckerError {
+    fn from(e: QueryError) -> Self {
+        TuckerError::Query(e)
+    }
+}
+
+impl From<PlanError> for TuckerError {
+    fn from(e: PlanError) -> Self {
+        TuckerError::Plan(e)
+    }
+}
+
+impl From<io::Error> for TuckerError {
+    fn from(e: io::Error) -> Self {
+        TuckerError::Io(e)
+    }
+}
+
+impl From<SlabRangeError> for TuckerError {
+    fn from(e: SlabRangeError) -> Self {
+        TuckerError::Slab(e)
+    }
+}
+
+/// Maps an artifact-open `io::Error` into the facade hierarchy:
+/// `InvalidData` (the readers' verdict for corrupt or truncated artifacts)
+/// becomes a typed [`FormatError::Invalid`]; everything else stays IO.
+pub(crate) fn open_error(e: io::Error) -> TuckerError {
+    if e.kind() == io::ErrorKind::InvalidData {
+        TuckerError::Format(FormatError::Invalid(e.to_string()))
+    } else {
+        TuckerError::Io(e)
+    }
+}

@@ -27,8 +27,9 @@
 use std::time::Instant;
 
 use crate::hooi::HooiOptions;
-use crate::rank::{discarded_tail, RankSelection};
+use crate::rank::discarded_tail;
 use crate::tucker::TuckerTensor;
+use crate::validate::{self, CoreError};
 use tucker_distmem::collectives::{all_gather, all_reduce, reduce_scatter_blocks};
 use tucker_distmem::{Communicator, ProcGrid, SubCommunicator};
 use tucker_exec::ExecContext;
@@ -487,11 +488,10 @@ pub fn dist_st_hosvd_ctx(
     let nmodes = x.global_dims().len();
     let norm_x_sq = x.global_norm_sq(comm);
 
-    let rank_hint: Vec<usize> = match &opts.rank {
-        RankSelection::Fixed(r) | RankSelection::ToleranceWithMax(_, r) => r.clone(),
-        RankSelection::Tolerance(_) => x.global_dims().to_vec(),
-    };
-    let order = opts.order.resolve(x.global_dims(), &rank_hint);
+    let order = opts.order.resolve(
+        x.global_dims(),
+        &validate::rank_hint(&opts.rank, x.global_dims()),
+    );
 
     let mut y = x.clone();
     let mut factors: Vec<Option<Matrix>> = vec![None; nmodes];
@@ -537,6 +537,63 @@ pub fn dist_st_hosvd_ctx(
         processed_order: order,
         timings,
     }
+}
+
+/// Validates the global shape / order / rank selection of a distributed run
+/// plus the processor grid itself (no mode may have more processes than
+/// elements, or some ranks would own empty blocks).
+fn validate_dist_inputs(
+    comm: &Communicator,
+    x: &DistTensor,
+    opts: &SthosvdOptions,
+) -> Result<(), CoreError> {
+    validate::validate_sthosvd_inputs(x.global_dims(), opts)?;
+    validate::validate_grid(x.global_dims(), comm.grid().shape())?;
+    Ok(())
+}
+
+/// Fallible [`dist_st_hosvd`]: validates the global shape, mode order, rank
+/// selection, and processor grid, returning a [`CoreError`] instead of
+/// panicking. Every rank of the grid must call this (it is itself
+/// collective); on valid input the result is the same, bit for bit.
+pub fn try_dist_st_hosvd(
+    comm: &Communicator,
+    x: &DistTensor,
+    opts: &SthosvdOptions,
+) -> Result<DistSthosvdResult, CoreError> {
+    try_dist_st_hosvd_ctx(comm, x, opts, &hybrid_ctx(comm))
+}
+
+/// Fallible [`dist_st_hosvd_ctx`]; see [`try_dist_st_hosvd`].
+pub fn try_dist_st_hosvd_ctx(
+    comm: &Communicator,
+    x: &DistTensor,
+    opts: &SthosvdOptions,
+    ctx: &ExecContext,
+) -> Result<DistSthosvdResult, CoreError> {
+    validate_dist_inputs(comm, x, opts)?;
+    Ok(dist_st_hosvd_ctx(comm, x, opts, ctx))
+}
+
+/// Fallible [`dist_hooi`]: validates like [`try_dist_st_hosvd`] and returns
+/// a [`CoreError`] instead of panicking.
+pub fn try_dist_hooi(
+    comm: &Communicator,
+    x: &DistTensor,
+    opts: &HooiOptions,
+) -> Result<DistHooiResult, CoreError> {
+    try_dist_hooi_ctx(comm, x, opts, &hybrid_ctx(comm))
+}
+
+/// Fallible [`dist_hooi_ctx`]; see [`try_dist_hooi`].
+pub fn try_dist_hooi_ctx(
+    comm: &Communicator,
+    x: &DistTensor,
+    opts: &HooiOptions,
+    ctx: &ExecContext,
+) -> Result<DistHooiResult, CoreError> {
+    validate_dist_inputs(comm, x, &opts.init)?;
+    Ok(dist_hooi_ctx(comm, x, opts, ctx))
 }
 
 /// Distributed HOOI (Alg. 2 over Algs. 3–5), initialized with

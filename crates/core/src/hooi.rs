@@ -9,6 +9,7 @@
 
 use crate::sthosvd::{st_hosvd_ctx, SthosvdOptions};
 use crate::tucker::TuckerTensor;
+use crate::validate::{self, CoreError};
 use serde::{Deserialize, Serialize};
 use tucker_exec::{ExecContext, Workspace};
 use tucker_linalg::eig::sym_eig_desc;
@@ -87,7 +88,37 @@ pub fn hooi(x: &DenseTensor, opts: &HooiOptions) -> HooiResult {
 /// buffers instead of allocating `O(iterations × modes²)` fresh tensors.
 /// Results are bit-identical to the allocating formulation and across thread
 /// counts.
+///
+/// # Panics
+/// Panics on structurally invalid input (see
+/// [`crate::sthosvd::st_hosvd`]); use [`try_hooi_ctx`] for a
+/// [`CoreError`] instead.
 pub fn hooi_ctx(x: &DenseTensor, opts: &HooiOptions, ctx: &ExecContext) -> HooiResult {
+    match try_hooi_ctx(x, opts, ctx) {
+        Ok(r) => r,
+        Err(e) => panic!("hooi: invalid input: {e}"),
+    }
+}
+
+/// Fallible [`hooi`]: validates the initialization options (shape, mode
+/// order, rank selection) and returns a [`CoreError`] instead of panicking.
+/// On valid input the result is the same, bit for bit.
+pub fn try_hooi(x: &DenseTensor, opts: &HooiOptions) -> Result<HooiResult, CoreError> {
+    try_hooi_ctx(x, opts, ExecContext::global())
+}
+
+/// Fallible [`hooi_ctx`]; see [`try_hooi`].
+pub fn try_hooi_ctx(
+    x: &DenseTensor,
+    opts: &HooiOptions,
+    ctx: &ExecContext,
+) -> Result<HooiResult, CoreError> {
+    validate::validate_sthosvd_inputs(x.dims(), &opts.init)?;
+    Ok(hooi_unchecked(x, opts, ctx))
+}
+
+/// The Alg. 2 kernel itself; inputs have been validated.
+fn hooi_unchecked(x: &DenseTensor, opts: &HooiOptions, ctx: &ExecContext) -> HooiResult {
     let nmodes = x.ndims();
     let norm_x_sq = x.norm_sq();
 

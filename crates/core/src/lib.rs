@@ -50,31 +50,44 @@ pub mod sthosvd;
 pub mod streaming;
 pub mod thosvd;
 pub mod tucker;
+pub mod validate;
 
 pub use error::{compression_ratio, error_bound, mode_wise_error_curves, ModeErrorCurve};
-pub use hooi::{hooi, hooi_ctx, HooiOptions, HooiResult};
+pub use hooi::{hooi, hooi_ctx, try_hooi, try_hooi_ctx, HooiOptions, HooiResult};
 pub use ordering::ModeOrder;
 pub use rank::{select_rank_by_threshold, RankSelection};
 pub use reconstruct::{
     reconstruct_element, reconstruct_full, reconstruct_full_ctx, reconstruct_subtensor,
     reconstruct_subtensor_ctx,
 };
-pub use sthosvd::{st_hosvd, st_hosvd_ctx, SthosvdOptions, SthosvdResult};
-pub use streaming::{st_hosvd_streaming, st_hosvd_streaming_ctx, StreamingOptions};
+pub use sthosvd::{
+    st_hosvd, st_hosvd_ctx, try_st_hosvd, try_st_hosvd_ctx, SthosvdOptions, SthosvdResult,
+};
+pub use streaming::{
+    st_hosvd_streaming, st_hosvd_streaming_ctx, try_st_hosvd_streaming, try_st_hosvd_streaming_ctx,
+    StreamingOptions,
+};
 pub use thosvd::{t_hosvd, ThosvdResult};
 pub use tucker::TuckerTensor;
+pub use validate::{CoreError, RankError, ShapeError};
 
 /// Convenience re-exports for downstream code and examples.
 pub mod prelude {
     pub use crate::dist::{DistTensor, DistTucker};
     pub use crate::error::{compression_ratio, error_bound, mode_wise_error_curves};
-    pub use crate::hooi::{hooi, hooi_ctx, HooiOptions, HooiResult};
+    pub use crate::hooi::{hooi, hooi_ctx, try_hooi, try_hooi_ctx, HooiOptions, HooiResult};
     pub use crate::ordering::ModeOrder;
     pub use crate::rank::RankSelection;
     pub use crate::reconstruct::{reconstruct_element, reconstruct_full, reconstruct_subtensor};
-    pub use crate::sthosvd::{st_hosvd, st_hosvd_ctx, SthosvdOptions, SthosvdResult};
-    pub use crate::streaming::{st_hosvd_streaming, st_hosvd_streaming_ctx, StreamingOptions};
+    pub use crate::sthosvd::{
+        st_hosvd, st_hosvd_ctx, try_st_hosvd, try_st_hosvd_ctx, SthosvdOptions, SthosvdResult,
+    };
+    pub use crate::streaming::{
+        st_hosvd_streaming, st_hosvd_streaming_ctx, try_st_hosvd_streaming,
+        try_st_hosvd_streaming_ctx, StreamingOptions,
+    };
     pub use crate::thosvd::t_hosvd;
     pub use crate::tucker::TuckerTensor;
+    pub use crate::validate::{CoreError, RankError, ShapeError};
     pub use tucker_exec::ExecContext;
 }

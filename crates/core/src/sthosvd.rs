@@ -9,6 +9,7 @@
 use crate::ordering::ModeOrder;
 use crate::rank::{discarded_tail, RankSelection};
 use crate::tucker::TuckerTensor;
+use crate::validate::{self, CoreError};
 use serde::{Deserialize, Serialize};
 use tucker_exec::ExecContext;
 use tucker_linalg::eig::sym_eig_desc;
@@ -82,6 +83,11 @@ impl SthosvdResult {
 }
 
 /// Computes the ST-HOSVD of `x` (Alg. 1) on the global execution context.
+///
+/// # Panics
+/// Panics on structurally invalid input (empty/zero-extent shape, fixed
+/// ranks exceeding the mode dims, a non-permutation custom order); use
+/// [`try_st_hosvd`] for a [`CoreError`] instead.
 pub fn st_hosvd(x: &DenseTensor, opts: &SthosvdOptions) -> SthosvdResult {
     st_hosvd_ctx(x, opts, ExecContext::global())
 }
@@ -89,17 +95,44 @@ pub fn st_hosvd(x: &DenseTensor, opts: &SthosvdOptions) -> SthosvdResult {
 /// [`st_hosvd`] on an explicit execution context: the Gram and TTM kernels of
 /// every mode run on the context's share of the process pool. Results are
 /// bit-identical for every thread count (see `docs/ARCHITECTURE.md` §4).
+///
+/// # Panics
+/// Panics on structurally invalid input; use [`try_st_hosvd_ctx`] for a
+/// [`CoreError`] instead.
 pub fn st_hosvd_ctx(x: &DenseTensor, opts: &SthosvdOptions, ctx: &ExecContext) -> SthosvdResult {
+    match try_st_hosvd_ctx(x, opts, ctx) {
+        Ok(r) => r,
+        Err(e) => panic!("st_hosvd: invalid input: {e}"),
+    }
+}
+
+/// Fallible [`st_hosvd`]: validates the input shape, mode order, and rank
+/// selection, returning a [`CoreError`] instead of panicking. On valid input
+/// the result is the same, bit for bit.
+pub fn try_st_hosvd(x: &DenseTensor, opts: &SthosvdOptions) -> Result<SthosvdResult, CoreError> {
+    try_st_hosvd_ctx(x, opts, ExecContext::global())
+}
+
+/// Fallible [`st_hosvd_ctx`]; see [`try_st_hosvd`].
+pub fn try_st_hosvd_ctx(
+    x: &DenseTensor,
+    opts: &SthosvdOptions,
+    ctx: &ExecContext,
+) -> Result<SthosvdResult, CoreError> {
+    validate::validate_sthosvd_inputs(x.dims(), opts)?;
+    Ok(st_hosvd_unchecked(x, opts, ctx))
+}
+
+/// The Alg. 1 kernel itself; inputs have been validated.
+fn st_hosvd_unchecked(x: &DenseTensor, opts: &SthosvdOptions, ctx: &ExecContext) -> SthosvdResult {
     let nmodes = x.ndims();
     let norm_x_sq = x.norm_sq();
 
-    // Resolve the processing order. Greedy strategies need a rank hint; use
-    // fixed ranks when available, otherwise fall back to the dimensions.
-    let rank_hint: Vec<usize> = match &opts.rank {
-        RankSelection::Fixed(r) | RankSelection::ToleranceWithMax(_, r) => r.clone(),
-        RankSelection::Tolerance(_) => x.dims().to_vec(),
-    };
-    let order = opts.order.resolve(x.dims(), &rank_hint);
+    // Resolve the processing order (greedy strategies consume the shared
+    // rank hint: fixed ranks when available, the dimensions otherwise).
+    let order = opts
+        .order
+        .resolve(x.dims(), &validate::rank_hint(&opts.rank, x.dims()));
 
     let mut y = x.clone();
     let mut factors: Vec<Option<tucker_linalg::Matrix>> = vec![None; nmodes];

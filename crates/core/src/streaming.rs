@@ -33,9 +33,10 @@
 //! Pinned by `tests/streaming.rs` across odd shapes, slab widths (1, prime,
 //! full) and thread counts including oversubscription.
 
-use crate::rank::{discarded_tail, RankSelection};
+use crate::rank::discarded_tail;
 use crate::sthosvd::{SthosvdOptions, SthosvdResult};
 use crate::tucker::TuckerTensor;
+use crate::validate::{self, CoreError};
 use serde::{Deserialize, Serialize};
 use tucker_exec::ExecContext;
 use tucker_linalg::eig::sym_eig_desc;
@@ -99,6 +100,42 @@ pub fn st_hosvd_streaming_ctx(
     stream: &StreamingOptions,
     ctx: &ExecContext,
 ) -> SthosvdResult {
+    match try_st_hosvd_streaming_ctx(src, opts, stream, ctx) {
+        Ok(r) => r,
+        Err(e) => panic!("st_hosvd_streaming: invalid input: {e}"),
+    }
+}
+
+/// Fallible [`st_hosvd_streaming`]: validates the source shape, mode order
+/// (which must process the streaming mode last), and rank selection,
+/// returning a [`CoreError`] instead of panicking. On valid input the result
+/// is the same, bit for bit.
+pub fn try_st_hosvd_streaming(
+    src: &impl SlabSource,
+    opts: &SthosvdOptions,
+    stream: &StreamingOptions,
+) -> Result<SthosvdResult, CoreError> {
+    try_st_hosvd_streaming_ctx(src, opts, stream, ExecContext::global())
+}
+
+/// Fallible [`st_hosvd_streaming_ctx`]; see [`try_st_hosvd_streaming`].
+pub fn try_st_hosvd_streaming_ctx(
+    src: &impl SlabSource,
+    opts: &SthosvdOptions,
+    stream: &StreamingOptions,
+    ctx: &ExecContext,
+) -> Result<SthosvdResult, CoreError> {
+    validate::validate_streaming_inputs(src.dims(), opts)?;
+    Ok(st_hosvd_streaming_unchecked(src, opts, stream, ctx))
+}
+
+/// The two-phase streaming kernel itself; inputs have been validated.
+fn st_hosvd_streaming_unchecked(
+    src: &impl SlabSource,
+    opts: &SthosvdOptions,
+    stream: &StreamingOptions,
+    ctx: &ExecContext,
+) -> SthosvdResult {
     let dims = src.dims().to_vec();
     let nmodes = dims.len();
     assert!(
@@ -109,12 +146,12 @@ pub fn st_hosvd_streaming_ctx(
     let last_dim = dims[last];
     let width = stream.slab_width.max(1);
 
-    // Resolve the processing order exactly like the in-memory driver.
-    let rank_hint: Vec<usize> = match &opts.rank {
-        RankSelection::Fixed(r) | RankSelection::ToleranceWithMax(_, r) => r.clone(),
-        RankSelection::Tolerance(_) => dims.clone(),
-    };
-    let order = opts.order.resolve(&dims, &rank_hint);
+    // Resolve the processing order exactly like the in-memory driver (and
+    // like validate_streaming_inputs, which certified it ends in the last
+    // mode — one shared rank_hint, so they cannot drift).
+    let order = opts
+        .order
+        .resolve(&dims, &validate::rank_hint(&opts.rank, &dims));
     assert_eq!(
         order.last(),
         Some(&last),

@@ -50,14 +50,17 @@ impl Codec {
 
     /// Inverse of [`Codec::id`].
     pub fn from_id(id: u8) -> io::Result<Codec> {
+        Codec::try_from_id(id)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Inverse of [`Codec::id`], with a typed error.
+    pub fn try_from_id(id: u8) -> Result<Codec, crate::error::CodecError> {
         match id {
             0 => Ok(Codec::F64),
             1 => Ok(Codec::F32),
             2 => Ok(Codec::Q16),
-            _ => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unknown codec id {id}"),
-            )),
+            _ => Err(crate::error::CodecError::UnknownId(id)),
         }
     }
 

@@ -86,6 +86,38 @@ impl TkrMetadata {
             normalization: Some(ds.normalization.clone()),
         }
     }
+
+    /// Validates this metadata against a tensor order, with the same rules
+    /// the header serializer enforces — so callers can reject a malformed
+    /// request *before* any file is created or any kernel runs.
+    pub fn validate(&self, ndims: usize) -> Result<(), crate::error::FormatError> {
+        use crate::error::FormatError;
+        if !self.mode_labels.is_empty() && self.mode_labels.len() != ndims {
+            return Err(FormatError::Invalid(format!(
+                "{} mode labels for a {}-mode tensor (must be absent or one per mode)",
+                self.mode_labels.len(),
+                ndims
+            )));
+        }
+        if let Some(n) = &self.normalization {
+            if n.means.len() != n.stds.len() {
+                return Err(FormatError::Invalid(format!(
+                    "normalization has {} means but {} stds",
+                    n.means.len(),
+                    n.stds.len()
+                )));
+            }
+            if n.mode >= ndims || n.means.len() > MAX_NORM_SLICES {
+                return Err(FormatError::Invalid(format!(
+                    "normalization mode {} / {} slices invalid for a {}-mode tensor",
+                    n.mode,
+                    n.means.len(),
+                    ndims
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The parsed fixed header of a `.tkr` file.

@@ -60,6 +60,7 @@
 //! ```
 
 pub mod codec;
+pub mod error;
 pub mod format;
 pub mod lazy;
 pub mod query;
@@ -67,13 +68,14 @@ pub mod reader;
 pub mod writer;
 
 pub use codec::Codec;
+pub use error::{CodecError, FormatError, StoreError};
 pub use format::{TkrHeader, TkrMetadata};
 pub use lazy::{TkrReader, DEFAULT_CACHE_CHUNKS};
 pub use query::QueryError;
 pub use reader::TkrArtifact;
 pub use writer::{
-    compress_streaming, gather_and_write, write_tucker, write_tucker_ctx, EncodeReport,
-    StoreOptions, TkrWriter,
+    compress_streaming, gather_and_write, try_write_tucker, try_write_tucker_ctx, write_tucker,
+    write_tucker_ctx, EncodeReport, StoreOptions, TkrWriter,
 };
 
 #[cfg(test)]

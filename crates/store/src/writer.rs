@@ -24,6 +24,7 @@
 //! artifact.
 
 use crate::codec::Codec;
+use crate::error::{FormatError, StoreError};
 use crate::format::{
     write_u32, write_u64, TkrHeader, TkrMetadata, QUANT_BOUND_OFFSET, TAG_CORE_CHUNK, TAG_END,
     TAG_FACTOR,
@@ -125,12 +126,63 @@ pub struct TkrWriter<W: Write + Seek> {
     bytes: u64,
 }
 
+/// Validates a header against the writer's structural contract: a sane
+/// tensor order, matching dims/ranks arity, no zero extents, no zero
+/// ranks, no rank exceeding its mode's extent, and metadata consistent
+/// with the shape. This is a superset of what header serialization
+/// enforces, so a header that passes here cannot fail later — which is
+/// what lets [`TkrWriter::try_create`] promise that rejected requests
+/// never touch the destination file.
+fn validate_header(header: &TkrHeader) -> Result<(), FormatError> {
+    if header.dims.is_empty() || header.dims.len() > crate::format::MAX_NDIMS {
+        return Err(FormatError::Invalid(format!(
+            "tensor order {} outside 1..={}",
+            header.dims.len(),
+            crate::format::MAX_NDIMS
+        )));
+    }
+    if header.dims.len() != header.ranks.len() {
+        return Err(FormatError::DimsRanksArity {
+            dims: header.dims.len(),
+            ranks: header.ranks.len(),
+        });
+    }
+    header.meta.validate(header.dims.len())?;
+    for (mode, (&d, &r)) in header.dims.iter().zip(header.ranks.iter()).enumerate() {
+        if d == 0 {
+            return Err(FormatError::ZeroDim { mode });
+        }
+        if r == 0 {
+            return Err(FormatError::ZeroRank { mode });
+        }
+        if r > d {
+            return Err(FormatError::RankExceedsDim {
+                mode,
+                rank: r,
+                dim: d,
+            });
+        }
+    }
+    Ok(())
+}
+
 impl TkrWriter<BufWriter<File>> {
     /// Creates the file and writes the header (with a zero quantization bound,
     /// patched at [`TkrWriter::finish`]).
     pub fn create(path: impl AsRef<Path>, header: TkrHeader) -> io::Result<Self> {
+        TkrWriter::try_create(path, header).map_err(StoreError::into_io)
+    }
+
+    /// Fallible [`TkrWriter::create`]: a structurally invalid header (zero
+    /// extents or ranks, rank exceeding a mode) is a typed
+    /// [`FormatError`](crate::FormatError) instead of an opaque
+    /// `InvalidData`. The header is validated **before** the file is
+    /// created, so a rejected request never truncates an existing artifact
+    /// at `path`.
+    pub fn try_create(path: impl AsRef<Path>, header: TkrHeader) -> Result<Self, StoreError> {
+        validate_header(&header)?;
         let file = File::create(path)?;
-        TkrWriter::new(BufWriter::new(file), header)
+        TkrWriter::try_new(BufWriter::new(file), header)
     }
 }
 
@@ -138,7 +190,13 @@ impl<W: Write + Seek> TkrWriter<W> {
     /// Wraps an arbitrary seekable sink and writes the header at the sink's
     /// **current** position (so a `.tkr` section can be embedded into a
     /// larger container; the finish-time patch is relative to that base).
-    pub fn new(mut w: W, mut header: TkrHeader) -> io::Result<Self> {
+    pub fn new(w: W, header: TkrHeader) -> io::Result<Self> {
+        TkrWriter::try_new(w, header).map_err(StoreError::into_io)
+    }
+
+    /// Fallible [`TkrWriter::new`]; see [`TkrWriter::try_create`].
+    pub fn try_new(mut w: W, mut header: TkrHeader) -> Result<Self, StoreError> {
+        validate_header(&header)?;
         let base = w.stream_position()?;
         header.quant_error_bound = 0.0;
         let mut head = Vec::new();
@@ -167,21 +225,39 @@ impl<W: Write + Seek> TkrWriter<W> {
     ///
     /// # Panics
     /// Panics if the mode was already written or the shape disagrees with the
-    /// header.
+    /// header; use [`TkrWriter::try_write_factor`] for a typed error.
     pub fn write_factor(&mut self, mode: usize, u: &Matrix) -> io::Result<()> {
-        assert!(
-            mode < self.header.ndims(),
-            "write_factor: mode out of range"
-        );
-        assert!(
-            !self.factor_written[mode],
-            "write_factor: mode {mode} written twice"
-        );
-        assert_eq!(
-            (u.rows(), u.cols()),
-            (self.header.dims[mode], self.header.ranks[mode]),
-            "write_factor: factor shape disagrees with header for mode {mode}"
-        );
+        match self.try_write_factor(mode, u) {
+            Ok(()) => Ok(()),
+            Err(StoreError::Io(e)) => Err(e),
+            Err(e) => panic!("write_factor: {e}"),
+        }
+    }
+
+    /// Fallible [`TkrWriter::write_factor`]: a factor for an out-of-range
+    /// mode, a mode written twice, or a shape disagreeing with the header is
+    /// a typed [`FormatError`](crate::FormatError) instead of a panic.
+    pub fn try_write_factor(&mut self, mode: usize, u: &Matrix) -> Result<(), StoreError> {
+        if mode >= self.header.ndims() {
+            return Err(FormatError::ModeOutOfRange {
+                mode,
+                ndims: self.header.ndims(),
+            }
+            .into());
+        }
+        if self.factor_written[mode] {
+            return Err(FormatError::FactorRewritten { mode }.into());
+        }
+        if (u.rows(), u.cols()) != (self.header.dims[mode], self.header.ranks[mode]) {
+            return Err(FormatError::FactorShape {
+                mode,
+                rows: u.rows(),
+                cols: u.cols(),
+                dim: self.header.dims[mode],
+                rank: self.header.ranks[mode],
+            }
+            .into());
+        }
         let mut block = Vec::new();
         block.push(TAG_FACTOR);
         write_u32(&mut block, mode as u32)?;
@@ -204,19 +280,22 @@ impl<W: Write + Seek> TkrWriter<W> {
     ///
     /// # Panics
     /// Panics if the chunk is not a positive multiple of the slab stride or
-    /// overruns the core.
+    /// overruns the core; use [`TkrWriter::try_write_core_chunk`] for a
+    /// typed error.
     pub fn write_core_chunk(&mut self, slab: &[f64]) -> io::Result<()> {
-        assert!(
-            !slab.is_empty() && slab.len() % self.slab_stride == 0,
-            "write_core_chunk: chunk of {} elements is not a whole number of last-mode slabs (stride {})",
-            slab.len(),
-            self.slab_stride
-        );
-        assert!(
-            self.core_elems_written + slab.len() <= self.core_total,
-            "write_core_chunk: overruns the {}-element core",
-            self.core_total
-        );
+        match self.try_write_core_chunk(slab) {
+            Ok(()) => Ok(()),
+            Err(StoreError::Io(e)) => Err(e),
+            Err(e) => panic!("write_core_chunk: {e}"),
+        }
+    }
+
+    /// Fallible [`TkrWriter::write_core_chunk`]: a zero-size chunk, a chunk
+    /// that is not a whole number of last-mode slabs, or a chunk overrunning
+    /// the declared core is a typed [`FormatError`](crate::FormatError)
+    /// instead of a panic. Nothing is written when the chunk is rejected.
+    pub fn try_write_core_chunk(&mut self, slab: &[f64]) -> Result<(), StoreError> {
+        self.validate_chunk(self.core_elems_written, slab)?;
         let mut block = Vec::new();
         block.push(TAG_CORE_CHUNK);
         write_u64(&mut block, self.core_elems_written as u64)?;
@@ -226,6 +305,27 @@ impl<W: Write + Seek> TkrWriter<W> {
         self.bytes += block.len() as u64;
         self.core_norm_sq += slab.iter().map(|&v| v * v).sum::<f64>();
         self.core_elems_written += slab.len();
+        Ok(())
+    }
+
+    /// The shared chunk contract: positive, slab-aligned, within the core.
+    fn validate_chunk(&self, start: usize, slab: &[f64]) -> Result<(), FormatError> {
+        if slab.is_empty() {
+            return Err(FormatError::EmptyChunk);
+        }
+        if slab.len() % self.slab_stride != 0 {
+            return Err(FormatError::MisalignedChunk {
+                len: slab.len(),
+                stride: self.slab_stride,
+            });
+        }
+        if start + slab.len() > self.core_total {
+            return Err(FormatError::CoreOverrun {
+                start,
+                len: slab.len(),
+                total: self.core_total,
+            });
+        }
         Ok(())
     }
 
@@ -244,22 +344,26 @@ impl<W: Write + Seek> TkrWriter<W> {
         chunks: &[&[f64]],
         ctx: &ExecContext,
     ) -> io::Result<()> {
-        // Validate every chunk up front with the same rules as the
-        // sequential path, so a bad chunk cannot leave earlier ones written.
+        match self.try_write_core_chunks_ctx(chunks, ctx) {
+            Ok(()) => Ok(()),
+            Err(StoreError::Io(e)) => Err(e),
+            Err(e) => panic!("write_core_chunk: {e}"),
+        }
+    }
+
+    /// Fallible [`TkrWriter::write_core_chunks_ctx`]: every chunk is
+    /// validated up front with the same rules as
+    /// [`TkrWriter::try_write_core_chunk`], so a bad chunk cannot leave
+    /// earlier ones written.
+    pub fn try_write_core_chunks_ctx(
+        &mut self,
+        chunks: &[&[f64]],
+        ctx: &ExecContext,
+    ) -> Result<(), StoreError> {
         let mut start = self.core_elems_written;
         let mut starts = Vec::with_capacity(chunks.len());
         for slab in chunks {
-            assert!(
-                !slab.is_empty() && slab.len() % self.slab_stride == 0,
-                "write_core_chunk: chunk of {} elements is not a whole number of last-mode slabs (stride {})",
-                slab.len(),
-                self.slab_stride
-            );
-            assert!(
-                start + slab.len() <= self.core_total,
-                "write_core_chunk: overruns the {}-element core",
-                self.core_total
-            );
+            self.validate_chunk(start, slab)?;
             starts.push(start);
             start += slab.len();
         }
@@ -306,16 +410,32 @@ impl<W: Write + Seek> TkrWriter<W> {
     /// header, flushes, and reports what was encoded.
     ///
     /// # Panics
-    /// Panics if a factor is missing or the core is incomplete.
-    pub fn finish(mut self) -> io::Result<EncodeReport> {
-        for (n, &written) in self.factor_written.iter().enumerate() {
-            assert!(written, "finish: factor for mode {n} was never written");
+    /// Panics if a factor is missing or the core is incomplete; use
+    /// [`TkrWriter::try_finish`] for a typed error.
+    pub fn finish(self) -> io::Result<EncodeReport> {
+        match self.try_finish() {
+            Ok(r) => Ok(r),
+            Err(StoreError::Io(e)) => Err(e),
+            Err(e) => panic!("finish: {e}"),
         }
-        assert_eq!(
-            self.core_elems_written, self.core_total,
-            "finish: core incomplete ({} of {} elements)",
-            self.core_elems_written, self.core_total
-        );
+    }
+
+    /// Fallible [`TkrWriter::finish`]: a missing factor or an incomplete
+    /// core is a typed [`FormatError`](crate::FormatError) instead of a
+    /// panic (and the end marker is not written).
+    pub fn try_finish(mut self) -> Result<EncodeReport, StoreError> {
+        for (n, &written) in self.factor_written.iter().enumerate() {
+            if !written {
+                return Err(FormatError::MissingFactor { mode: n }.into());
+            }
+        }
+        if self.core_elems_written != self.core_total {
+            return Err(FormatError::CoreIncomplete {
+                written: self.core_elems_written,
+                total: self.core_total,
+            }
+            .into());
+        }
         let mut end = Vec::new();
         end.push(TAG_END);
         write_u64(&mut end, self.core_total as u64)?;
@@ -371,6 +491,27 @@ pub fn write_tucker_ctx(
     opts: &StoreOptions,
     ctx: &ExecContext,
 ) -> io::Result<EncodeReport> {
+    try_write_tucker_ctx(path, t, opts, ctx).map_err(StoreError::into_io)
+}
+
+/// Fallible [`write_tucker`]: a degenerate decomposition (zero extents or
+/// ranks) or inconsistent metadata is a typed
+/// [`StoreError`](crate::StoreError) instead of an opaque `InvalidData`.
+pub fn try_write_tucker(
+    path: impl AsRef<Path>,
+    t: &TuckerTensor,
+    opts: &StoreOptions,
+) -> Result<EncodeReport, StoreError> {
+    try_write_tucker_ctx(path, t, opts, ExecContext::global())
+}
+
+/// Fallible [`write_tucker_ctx`]; see [`try_write_tucker`].
+pub fn try_write_tucker_ctx(
+    path: impl AsRef<Path>,
+    t: &TuckerTensor,
+    opts: &StoreOptions,
+    ctx: &ExecContext,
+) -> Result<EncodeReport, StoreError> {
     let header = TkrHeader {
         dims: t.original_dims(),
         ranks: t.ranks(),
@@ -379,12 +520,12 @@ pub fn write_tucker_ctx(
         quant_error_bound: 0.0,
         meta: opts.meta.clone(),
     };
-    let mut w = TkrWriter::create(path, header)?;
+    let mut w = TkrWriter::try_create(path, header)?;
     for (n, u) in t.factors.iter().enumerate() {
-        w.write_factor(n, u)?;
+        w.try_write_factor(n, u)?;
     }
-    w.write_core_chunks_ctx(&core_slab_chunks(&t.core), ctx)?;
-    w.finish()
+    w.try_write_core_chunks_ctx(&core_slab_chunks(&t.core), ctx)?;
+    w.try_finish()
 }
 
 /// Groups a core into runs of whole last-mode slabs of about

@@ -70,6 +70,31 @@ pub trait SlabSource {
     }
 }
 
+/// References delegate, so `&S` and `&dyn SlabSource` are sources too —
+/// which is what lets builder-style callers hold a `&dyn SlabSource` and
+/// still drive the generic streaming kernels.
+impl<S: SlabSource + ?Sized> SlabSource for &S {
+    fn dims(&self) -> &[usize] {
+        (**self).dims()
+    }
+
+    fn fill_slab(&self, start: usize, len: usize, out: &mut [f64]) {
+        (**self).fill_slab(start, len, out)
+    }
+
+    fn borrow_slab(&self, start: usize, len: usize) -> Option<&[f64]> {
+        (**self).borrow_slab(start, len)
+    }
+
+    fn slab_stride(&self) -> usize {
+        (**self).slab_stride()
+    }
+
+    fn last_dim(&self) -> usize {
+        (**self).last_dim()
+    }
+}
+
 /// A resident tensor is trivially its own slab source (zero-copy).
 impl SlabSource for DenseTensor {
     fn dims(&self) -> &[usize] {

@@ -1,6 +1,6 @@
 //! Compress the three combustion-surrogate datasets (HCCI / TJLR / SP) across a
 //! sweep of error tolerances — the workflow behind Fig. 7 and Tab. II of the
-//! paper, at laptop scale.
+//! paper, at laptop scale, driven through the `tucker-api` [`Compressor`].
 //!
 //! Run with:
 //! ```text
@@ -8,10 +8,9 @@
 //! ```
 
 use parallel_tucker::prelude::*;
-use tucker_core::hooi::{hooi, HooiOptions};
 use tucker_tensor::max_abs_diff;
 
-fn main() {
+fn main() -> Result<(), TuckerError> {
     println!("Dataset surrogates (paper originals are 70–550 GB; see DESIGN.md):\n");
     for preset in DatasetPreset::all() {
         let ds = preset.generate(1, 2024);
@@ -30,26 +29,30 @@ fn main() {
             "epsilon", "reduced dims", "compression", "ST-HOSVD", "max-abs err"
         );
         for eps in [1e-2, 1e-3, 1e-4] {
-            let result = st_hosvd(&ds.data, &SthosvdOptions::with_tolerance(eps));
-            let rec = result.tucker.reconstruct();
+            let result = Compressor::new(&ds.data).tolerance(eps).run()?;
+            let rec = result.tucker().reconstruct();
             let err = normalized_rms_error(&ds.data, &rec);
             let max_err = max_abs_diff(&ds.data, &rec);
             println!(
                 "    {:<10.0e} {:>22} {:>11.1}x {:>12.3e} {:>12.3e}",
                 eps,
-                format!("{:?}", result.ranks),
-                result.tucker.compression_ratio(ds.data.dims()),
+                format!("{:?}", result.ranks()),
+                result.tucker().compression_ratio(ds.data.dims()),
                 err,
                 max_err
             );
         }
 
-        // One HOOI refinement at eps = 1e-3, mirroring Tab. II's comparison.
+        // One HOOI refinement at eps = 1e-3, mirroring Tab. II's comparison:
+        // the same builder, with the ST-HOSVD ranks fixed and two sweeps.
         let eps = 1e-3;
-        let st = st_hosvd(&ds.data, &SthosvdOptions::with_tolerance(eps));
-        let ho = hooi(&ds.data, &HooiOptions::with_ranks(st.ranks.clone(), 2));
-        let st_err = normalized_rms_error(&ds.data, &st.tucker.reconstruct());
-        let ho_err = normalized_rms_error(&ds.data, &ho.tucker.reconstruct());
+        let st = Compressor::new(&ds.data).tolerance(eps).run()?;
+        let ho = Compressor::new(&ds.data)
+            .ranks(st.ranks().to_vec())
+            .refine(Refine::sweeps(2))
+            .run()?;
+        let st_err = normalized_rms_error(&ds.data, &st.tucker().reconstruct());
+        let ho_err = normalized_rms_error(&ds.data, &ho.tucker().reconstruct());
         println!(
             "    HOOI refinement at eps=1e-3: {:.4e} -> {:.4e} (improvement {:.2}%)\n",
             st_err,
@@ -61,4 +64,5 @@ fn main() {
         "As in the paper, SP compresses hardest, TJLR least, and HOOI adds only\n\
          marginal improvement over the ST-HOSVD initialization."
     );
+    Ok(())
 }

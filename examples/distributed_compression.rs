@@ -1,6 +1,9 @@
-//! Run the *distributed* ST-HOSVD on a simulated processor grid and verify that
+//! Run the *distributed* ST-HOSVD on simulated processor grids and verify that
 //! it matches the sequential algorithm — the core claim of the paper's Secs.
-//! IV–VI, exercised end to end on the in-process message-passing runtime.
+//! IV–VI, exercised end to end through the `tucker-api` facade: the same
+//! [`Compressor`] builder drives both the sequential reference and every
+//! grid run ([`Compressor::distributed`] launches the SPMD region, runs the
+//! parallel kernels per rank, and gathers the result to root).
 //!
 //! Run with:
 //! ```text
@@ -8,9 +11,8 @@
 //! ```
 
 use parallel_tucker::prelude::*;
-use tucker_core::dist::dist_reconstruct;
 
-fn main() {
+fn main() -> Result<(), TuckerError> {
     // A synthetic 4-way dataset with known low-rank structure plus noise.
     let dims = vec![48usize, 48, 12, 16];
     let gen = NoisyLowRank {
@@ -27,45 +29,49 @@ fn main() {
         [6, 6, 4, 4]
     );
 
-    // Sequential reference.
+    // Sequential reference, through the same builder.
     let t0 = std::time::Instant::now();
-    let seq = st_hosvd(&x, &SthosvdOptions::with_tolerance(1e-2));
+    let seq = Compressor::new(&x).tolerance(1e-2).run()?;
     let seq_time = t0.elapsed().as_secs_f64();
-    let seq_err = normalized_rms_error(&x, &seq.tucker.reconstruct());
+    let seq_err = normalized_rms_error(&x, &seq.tucker().reconstruct());
     println!(
         "\nSequential ST-HOSVD:   ranks {:?}, error {:.2e}, {:.3} s",
-        seq.ranks, seq_err, seq_time
+        seq.ranks(),
+        seq_err,
+        seq_time
     );
 
-    // Distributed runs on growing processor grids.
+    // Distributed runs on growing processor grids: only the source
+    // constructor changes, the rest of the plan is identical.
     for grid_shape in [
         vec![1usize, 1, 1, 1],
         vec![2, 1, 1, 1],
         vec![2, 2, 1, 1],
         vec![2, 2, 2, 1],
     ] {
-        let x_clone = x.clone();
         let grid = ProcGrid::new(&grid_shape);
         let p = grid.size();
-        let handle = tucker_distmem::runtime::spmd_with_grid_handle(grid, move |comm| {
-            let dx = DistTensor::from_global(&comm, &x_clone);
-            let result = dist_st_hosvd(&comm, &dx, &SthosvdOptions::with_tolerance(1e-2));
-            let rec = dist_reconstruct(&comm, &result.tucker);
-            // Per-rank local error contribution (squared), reduced later.
-            let diff = dx.local().sub(rec.local());
-            (result.ranks.clone(), diff.norm_sq(), dx.local().norm_sq())
-        });
-        let ranks = handle.results[0].0.clone();
-        let err_sq: f64 = handle.results.iter().map(|r| r.1).sum();
-        let norm_sq: f64 = handle.results.iter().map(|r| r.2).sum();
-        let err = (err_sq / norm_sq).sqrt();
-        let stats = handle.total_stats();
+        let result = Compressor::distributed(&x, grid).tolerance(1e-2).run()?;
+        let err = normalized_rms_error(&x, &result.tucker().reconstruct());
+        let info = result
+            .dist_info()
+            .expect("distributed runs carry communication accounting");
         println!(
             "P = {:<3} grid {:?}: ranks {:?}, error {:.2e}, {:.3} s wall, \
              {:>8} messages, {:>10} words moved",
-            p, grid_shape, ranks, err, handle.elapsed, stats.messages_sent, stats.words_sent
+            p,
+            grid_shape,
+            result.ranks(),
+            err,
+            info.elapsed,
+            info.messages_sent,
+            info.words_sent
         );
-        assert_eq!(ranks, seq.ranks, "distributed ranks must match sequential");
+        assert_eq!(
+            result.ranks(),
+            seq.ranks(),
+            "distributed ranks must match sequential"
+        );
     }
 
     println!(
@@ -73,4 +79,5 @@ fn main() {
          volume grows with the grid exactly as the paper's cost model predicts\n\
          (see the fig9 benchmark binaries for the scaling study)."
     );
+    Ok(())
 }

@@ -1,9 +1,13 @@
 //! Quickstart: compress a synthetic scientific tensor, inspect the result,
-//! reconstruct, and measure the error.
+//! reconstruct, and measure the error — through the unified `tucker-api`
+//! facade.
 //!
 //! Exercises the paper's core sequential workflow (Secs. II–III): ST-HOSVD
 //! with ε-driven rank selection (Alg. 1), HOOI refinement (Alg. 2), and
 //! partial reconstruction from the compressed form (eq. (1), Sec. II-C).
+//! Everything goes through [`Compressor`]: the builder validates the inputs
+//! and dispatches to the exact same kernels the lower-level `st_hosvd` /
+//! `hooi` calls would run, bit for bit.
 //!
 //! Run with:
 //! ```text
@@ -12,7 +16,7 @@
 
 use parallel_tucker::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TuckerError> {
     // ------------------------------------------------------------------
     // 1. Build a 4-way data tensor: a small synthetic "simulation" with two
     //    spatial dimensions, a handful of variables, and time steps.
@@ -47,30 +51,35 @@ fn main() {
         "epsilon", "core size", "compression", "actual error"
     );
     for eps in [1e-2, 1e-4, 1e-6] {
-        let result = st_hosvd(&x, &SthosvdOptions::with_tolerance(eps));
-        let rec = result.tucker.reconstruct();
+        let result = Compressor::new(&x).tolerance(eps).run()?;
+        let rec = result.tucker().reconstruct();
         let err = normalized_rms_error(&x, &rec);
         println!(
             "{:<10.0e} {:>18} {:>13.1}x {:>14.2e}",
             eps,
-            format!("{:?}", result.ranks),
-            result.tucker.compression_ratio(&dims),
+            format!("{:?}", result.ranks()),
+            result.tucker().compression_ratio(&dims),
             err
         );
         assert!(err <= eps, "the error guarantee must hold");
     }
 
     // ------------------------------------------------------------------
-    // 3. Refine with HOOI and compare.
+    // 3. Refine with HOOI and compare. The builder reuses the ST-HOSVD
+    //    ranks by fixing them for the refined run.
     // ------------------------------------------------------------------
     let eps = 1e-4;
-    let st = st_hosvd(&x, &SthosvdOptions::with_tolerance(eps));
-    let ho = hooi(&x, &HooiOptions::with_ranks(st.ranks.clone(), 3));
-    let st_err = normalized_rms_error(&x, &st.tucker.reconstruct());
-    let ho_err = normalized_rms_error(&x, &ho.tucker.reconstruct());
+    let st = Compressor::new(&x).tolerance(eps).run()?;
+    let ho = Compressor::new(&x)
+        .ranks(st.ranks().to_vec())
+        .refine(Refine::sweeps(3))
+        .run()?;
+    let st_err = normalized_rms_error(&x, &st.tucker().reconstruct());
+    let ho_err = normalized_rms_error(&x, &ho.tucker().reconstruct());
+    let iterations = ho.hooi().map_or(0, |h| h.iterations);
     println!(
         "\nST-HOSVD error {:.3e}  →  HOOI error {:.3e}  ({} iterations)",
-        st_err, ho_err, ho.iterations
+        st_err, ho_err, iterations
     );
 
     // ------------------------------------------------------------------
@@ -79,11 +88,22 @@ fn main() {
     let spec = SubtensorSpec::all(&dims)
         .restrict_mode(2, vec![3])
         .restrict_mode(3, vec![19]);
-    let sub = tucker_core::reconstruct_subtensor(&st.tucker, &spec);
+    let sub = tucker_core::reconstruct_subtensor(st.tucker(), &spec);
     println!(
         "\nReconstructed a single variable/time-step slice of shape {:?} \
          without forming the full tensor.",
         sub.dims()
     );
+
+    // ------------------------------------------------------------------
+    // 5. Malformed input is an error value, not a crash: the builder
+    //    validates before any kernel runs.
+    // ------------------------------------------------------------------
+    let bad = Compressor::new(&x).ranks(vec![999, 1, 1, 1]).run();
+    println!(
+        "\nAsking for rank 999 in a 40-wide mode fails cleanly:\n  {}",
+        bad.err().map_or_else(String::new, |e| e.to_string())
+    );
     println!("Done.");
+    Ok(())
 }

@@ -4,8 +4,10 @@
 //! simulation is compressed once on a cluster; analysts then pull out a single
 //! species, a time window, or a coarsened grid on a laptop, straight from the
 //! (small) core and factors. This example mimics that workflow on a combustion
-//! surrogate: compress, drop the original, then answer analysis queries from
-//! the compressed form alone.
+//! surrogate through the `tucker-api` facade: [`Compressor::write_to`]
+//! persists a `.tkr` artifact, the original is dropped, and every analysis
+//! query is answered by a lazily-opened [`TensorQuery`] reader — the
+//! artifact's chunks are decoded only as queries touch them.
 //!
 //! Run with:
 //! ```text
@@ -13,26 +15,33 @@
 //! ```
 
 use parallel_tucker::prelude::*;
-use tucker_core::reconstruct::{reconstruct_coarse, reconstruct_slice, reconstruct_subtensor};
+use tucker_core::reconstruct::reconstruct_coarse;
 
-fn main() {
-    // Compress the HCCI-like surrogate at eps = 1e-3.
+fn main() -> Result<(), TuckerError> {
+    // Compress the HCCI-like surrogate at eps = 1e-3 and persist it
+    // losslessly (Codec::F64), as the cluster-side job would.
     let ds = DatasetPreset::Hcci.generate(1, 7);
     let dims = ds.data.dims().to_vec();
     let original_mb = ds.data.len() as f64 * 8.0 / 1e6;
-    let result = st_hosvd(&ds.data, &SthosvdOptions::with_tolerance(1e-3));
-    let compressed_mb = result.tucker.storage() as f64 * 8.0 / 1e6;
+    let path = std::env::temp_dir().join(format!("subset_analysis_{}.tkr", std::process::id()));
+    let written = Compressor::new(&ds.data)
+        .tolerance(1e-3)
+        .codec(Codec::F64)
+        .meta(TkrMetadata::for_dataset(&ds))
+        .write_to(&path)?;
+    let compressed_mb = written.compressed.tucker().storage() as f64 * 8.0 / 1e6;
     println!(
         "Compressed {:?} ({:.1} MB) to core {:?} + factors ({:.2} MB): {:.0}x smaller",
         dims,
         original_mb,
-        result.ranks,
+        written.compressed.ranks(),
         compressed_mb,
-        result.tucker.compression_ratio(&dims)
+        written.compressed.tucker().compression_ratio(&dims)
     );
 
-    // Keep only the compressed model from here on.
-    let model = result.tucker;
+    // Keep only the artifact from here on: open it lazily, so each query
+    // decodes just the core chunks it touches.
+    let reader = Open::lazy().cache_chunks(8).open(&path)?;
     let exact = ds.data; // retained only to report the accuracy of each query
 
     // --- Query 1: a single species field at one time step --------------------
@@ -41,7 +50,7 @@ fn main() {
     let spec = SubtensorSpec::all(&dims)
         .restrict_mode(2, vec![species])
         .restrict_mode(3, vec![t]);
-    let field = reconstruct_subtensor(&model, &spec);
+    let field = reader.reconstruct_subtensor(&spec)?;
     let truth = tucker_tensor::extract_subtensor(&exact, &spec);
     println!(
         "Query 1: species {species} at time {t}: shape {:?}, {:.1} kB reconstructed, error {:.2e}",
@@ -57,7 +66,7 @@ fn main() {
         vec![species],          // variable
         (0..dims[3]).collect(), // all time steps
     ]);
-    let history = reconstruct_subtensor(&model, &probe);
+    let history = reader.reconstruct_subtensor(&probe)?;
     let truth = tucker_tensor::extract_subtensor(&exact, &probe);
     println!(
         "Query 2: probe time series of length {}: error {:.2e}",
@@ -65,24 +74,39 @@ fn main() {
         normalized_rms_error(&truth, &history)
     );
 
-    // --- Query 3: coarsened spatial field (every 4th grid point) -------------
+    // --- Query 3: one full time step, all species ----------------------------
+    let snapshot = reader.reconstruct_slice(3, dims[3] - 1)?;
+    let spec = SubtensorSpec::all(&dims).restrict_mode(3, vec![dims[3] - 1]);
+    let truth = tucker_tensor::extract_subtensor(&exact, &spec);
+    println!(
+        "Query 3: final-time snapshot {:?}: error {:.2e}",
+        snapshot.dims(),
+        normalized_rms_error(&truth, &snapshot)
+    );
+
+    // --- Query 4: coarsened spatial field (every 4th grid point) -------------
+    // Coarsening needs the decoded decomposition; pull it out of the reader
+    // (this decodes the remaining chunks once).
+    let model = reader.into_tucker()?;
     let coarse = reconstruct_coarse(&model, &[0, 1], 4);
     println!(
-        "Query 3: 4x-coarsened field: shape {:?} ({:.1} kB instead of {:.1} MB)",
+        "Query 4: 4x-coarsened field: shape {:?} ({:.1} kB instead of {:.1} MB)",
         coarse.dims(),
         coarse.len() as f64 * 8.0 / 1e3,
         original_mb
     );
 
-    // --- Query 4: one full time step, all species ----------------------------
-    let snapshot = reconstruct_slice(&model, 3, dims[3] - 1);
-    let spec = SubtensorSpec::all(&dims).restrict_mode(3, vec![dims[3] - 1]);
-    let truth = tucker_tensor::extract_subtensor(&exact, &spec);
+    // Out-of-range queries fail with a diagnosable error, not a crash.
+    let reader = Open::eager().open(&path)?;
+    let bad = reader.reconstruct_slice(2, dims[2] + 5);
     println!(
-        "Query 4: final-time snapshot {:?}: error {:.2e}",
-        snapshot.dims(),
-        normalized_rms_error(&truth, &snapshot)
+        "\nAsking for species {} of {} fails cleanly: {}",
+        dims[2] + 5,
+        dims[2],
+        bad.err().map_or_else(String::new, |e| e.to_string())
     );
+    std::fs::remove_file(&path).ok();
 
-    println!("\nAll queries were answered from the compressed model without ever\nmaterializing the full reconstruction.");
+    println!("\nAll queries were answered from the compressed artifact without ever\nmaterializing the full reconstruction.");
+    Ok(())
 }

@@ -1,22 +1,29 @@
 //! `parallel-tucker` — an umbrella crate re-exporting the whole workspace.
 //!
-//! This crate exists so that examples, integration tests, and downstream users
-//! can depend on a single package and find every piece of the system:
+//! **Start with [`api`]** (`tucker-api`): the unified public surface — the
+//! fallible [`Compressor`](tucker_api::Compressor) builder over every
+//! pipeline variant, the backend-agnostic
+//! [`TensorQuery`](tucker_api::TensorQuery) reader interface behind
+//! [`Open`](tucker_api::Open), and the
+//! [`TuckerError`](tucker_api::TuckerError) hierarchy. The remaining crates
+//! are the layers underneath:
 //!
 //! * [`exec`]    — the shared-pool execution layer: persistent thread pool,
 //!   [`ExecContext`](tucker_exec::ExecContext), reusable workspaces.
 //! * [`linalg`]  — dense linear algebra kernels (GEMM, SYRK, QR, eig, SVD).
-//! * [`tensor`]  — dense tensors, logical unfoldings, local TTM/Gram kernels.
+//! * [`tensor`]  — dense tensors, logical unfoldings, local TTM/Gram kernels,
+//!   the [`SlabSource`](tucker_tensor::SlabSource) streaming seam.
 //! * [`distmem`] — the simulated distributed-memory runtime and α-β-γ cost model.
 //! * [`core`]    — sequential and distributed ST-HOSVD / HOOI / T-HOSVD,
-//!   reconstruction, rank selection, error analysis.
+//!   reconstruction, rank selection, error analysis, input validation.
 //! * [`scidata`] — synthetic combustion-surrogate datasets and normalization.
 //! * [`store`]   — the `.tkr` compressed-tensor container, quantized codecs,
-//!   and partial-reconstruction query engine.
+//!   and partial-reconstruction queries.
 //!
 //! See the repository README for a guided tour and the `examples/` directory
-//! for runnable end-to-end programs.
+//! for runnable end-to-end programs (all written against [`api`]).
 
+pub use tucker_api as api;
 pub use tucker_core as core;
 pub use tucker_distmem as distmem;
 pub use tucker_exec as exec;
@@ -25,10 +32,19 @@ pub use tucker_scidata as scidata;
 pub use tucker_store as store;
 pub use tucker_tensor as tensor;
 
-/// Commonly used items, re-exported for convenience.
+/// Commonly used items, re-exported for convenience. The facade types
+/// ([`Compressor`](tucker_api::Compressor), [`Open`](tucker_api::Open),
+/// [`TensorQuery`](tucker_api::TensorQuery),
+/// [`TuckerError`](tucker_api::TuckerError)) come first; the direct kernel
+/// entry points remain available for code that addresses a specific layer.
 pub mod prelude {
+    pub use tucker_api::{
+        Compressed, CompressionPlan, Compressor, KernelPath, Open, PlanError, Reader, Refine,
+        TensorQuery, TuckerError, Written,
+    };
     pub use tucker_core::dist::{
-        dist_hooi, dist_reconstruct, dist_st_hosvd, DistTensor, DistTucker,
+        dist_hooi, dist_reconstruct, dist_st_hosvd, try_dist_hooi, try_dist_st_hosvd, DistTensor,
+        DistTucker,
     };
     pub use tucker_core::prelude::*;
     pub use tucker_distmem::{
@@ -38,9 +54,12 @@ pub mod prelude {
     pub use tucker_linalg::Matrix;
     pub use tucker_scidata::{DatasetPreset, NoisyLowRank, SpectralDecay};
     pub use tucker_store::{
-        gather_and_write, write_tucker, Codec, StoreOptions, TkrArtifact, TkrMetadata,
+        gather_and_write, try_write_tucker, write_tucker, Codec, StoreOptions, TkrArtifact,
+        TkrMetadata, TkrReader,
     };
-    pub use tucker_tensor::{normalized_rms_error, DenseTensor, SubtensorSpec, TtmTranspose};
+    pub use tucker_tensor::{
+        normalized_rms_error, DenseTensor, SlabSource, SubtensorSpec, TtmTranspose,
+    };
 }
 
 #[cfg(test)]
@@ -53,5 +72,20 @@ mod tests {
         let result = st_hosvd(&x, &SthosvdOptions::with_tolerance(1e-3));
         let rec = result.tucker.reconstruct();
         assert!(normalized_rms_error(&x, &rec) <= 1e-3);
+    }
+
+    #[test]
+    fn builder_facade_matches_direct_call() {
+        let x = DenseTensor::from_fn(&[8, 7, 6], |idx| (idx[0] + idx[1] * idx[2]) as f64);
+        let direct = st_hosvd(&x, &SthosvdOptions::with_tolerance(1e-3));
+        let built = Compressor::new(&x)
+            .tolerance(1e-3)
+            .run()
+            .expect("valid input must plan");
+        assert_eq!(built.kernel(), KernelPath::InMemory);
+        assert_eq!(
+            built.tucker().core.as_slice(),
+            direct.tucker.core.as_slice()
+        );
     }
 }

@@ -18,6 +18,13 @@ TUCKER_THREADS=1 cargo test -q
 echo "== cargo test -q (TUCKER_THREADS=4) =="
 TUCKER_THREADS=4 cargo test -q
 
+echo "== cargo test -q --test service (TUCKER_THREADS=1 and 4) =="
+# The daemon's concurrency suite under both pool shapes: 8-client
+# byte-identity, graceful-shutdown drain, typed-Busy backpressure, and
+# both fault-injection batteries must hold on a single-thread pool too.
+TUCKER_THREADS=1 cargo test -q --test service
+TUCKER_THREADS=4 cargo test -q --test service
+
 echo "== cargo test -q --test streaming (TUCKER_THREADS=32, oversubscribed) =="
 # The streaming determinism suite again, on a pool far larger than any CI
 # machine has cores: slab decomposition and oversubscription must both be
@@ -40,6 +47,13 @@ echo "== table5_memory (out-of-core peak-memory gate) =="
 # the two artifacts are not byte-identical.
 cargo run --release -p tucker-bench --bin table5_memory
 
+echo "== table6_service (daemon byte-identity + liveness gate) =="
+# In-process load generation against the tucker-serve daemon: 8 concurrent
+# clients, mixed workload, every response compared bit-for-bit against a
+# direct reader. Exits non-zero on any mismatch, lost reply, or deadlock
+# (the watchdog turns a wedged service into exit code 3).
+TUCKER_TABLE6_SMOKE=1 cargo run --release -p tucker-bench --bin table6_service
+
 echo "== cargo doc -p tucker-api (missing/broken docs are errors) =="
 # The facade crate carries #![deny(missing_docs)]; this pass additionally
 # promotes rustdoc warnings (broken intra-doc links, bad code fences) to
@@ -53,7 +67,8 @@ echo "== panic-grep gate on the fallible-surface modules =="
 gate_ok=1
 for f in crates/api/src/lib.rs crates/api/src/error.rs \
          crates/api/src/compressor.rs crates/api/src/query.rs \
-         crates/core/src/validate.rs crates/store/src/error.rs; do
+         crates/core/src/validate.rs crates/store/src/error.rs \
+         crates/serve/src/proto.rs crates/serve/src/client.rs; do
   if [ ! -f "$f" ]; then
     echo "panic-grep gate: fallible-surface file $f is missing (renamed? update ci.sh)"
     gate_ok=0

@@ -13,7 +13,9 @@
 //! | [`TuckerError::Format`] | `tucker_store::FormatError`          | container-contract violations, corrupt artifacts |
 //! | [`TuckerError::Query`]  | `tucker_store::QueryError`           | out-of-range reconstruction requests |
 //! | [`TuckerError::Slab`]   | `tucker_tensor::SlabRangeError`      | last-mode slab windows outside the tensor |
-//! | [`TuckerError::Plan`]   | this crate                           | an unsatisfiable [`Compressor`](crate::Compressor) configuration (no target, refine-on-streaming) |
+//! | [`TuckerError::Plan`]   | this crate                           | an unsatisfiable [`Compressor`](crate::Compressor) or [`Open`](crate::Open) configuration (no target, refine-on-streaming, zero cache) |
+//! | [`TuckerError::Protocol`] | this crate                         | malformed service frames (either side of the `tucker-serve` wire) |
+//! | [`TuckerError::Busy`]   | `tucker-serve`                       | a service rejecting a request at its admission cap |
 //! | [`TuckerError::Io`]     | `std::io::Error`                     | filesystem failures |
 
 use std::fmt;
@@ -35,6 +37,11 @@ pub enum PlanError {
     /// defeats the out-of-core contract. Materialize the source (or skip
     /// refinement).
     RefineNeedsResident,
+    /// [`cache_chunks(0)`](crate::Open::cache_chunks): a lazy reader needs
+    /// at least one resident chunk, and `0` has historically been a silent
+    /// clamp-to-1, never "unbounded" — the facade rejects it instead of
+    /// guessing.
+    ZeroCacheChunks,
 }
 
 impl fmt::Display for PlanError {
@@ -48,11 +55,60 @@ impl fmt::Display for PlanError {
                 f,
                 "HOOI refinement needs a resident tensor; streaming sources cannot be refined"
             ),
+            PlanError::ZeroCacheChunks => write!(
+                f,
+                "cache_chunks(0): a lazy reader needs at least one resident chunk"
+            ),
         }
     }
 }
 
 impl std::error::Error for PlanError {}
+
+/// A violation of the `tucker-serve` wire protocol, on either side of the
+/// connection: the daemon answering a malformed request, or the client
+/// refusing a malformed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A frame length prefix of zero or beyond the side's frame cap.
+    FrameLength {
+        /// The declared payload length.
+        len: u64,
+        /// The receiving side's cap.
+        max: u64,
+    },
+    /// The connection ended mid-frame (or before an expected response).
+    Truncated,
+    /// A frame starting with an opcode this side does not know.
+    UnknownOpcode(u8),
+    /// A frame whose payload does not parse under its opcode.
+    Malformed(String),
+    /// The remote side reported a protocol violation of ours.
+    Remote {
+        /// The remote side's error code.
+        code: u8,
+        /// The remote side's diagnostic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::FrameLength { len, max } => {
+                write!(f, "frame length {len} outside the accepted range 1..={max}")
+            }
+            ProtocolError::Truncated => write!(f, "connection closed mid-frame"),
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtocolError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            ProtocolError::Remote { code, message } => {
+                write!(f, "remote reported protocol error (code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// The workspace-wide error hierarchy of the public facade.
 #[derive(Debug)]
@@ -70,8 +126,17 @@ pub enum TuckerError {
     /// A last-mode slab window outside the tensor (from the checked slab
     /// accessors of `tucker-tensor`).
     Slab(SlabRangeError),
-    /// An unsatisfiable [`Compressor`](crate::Compressor) configuration.
+    /// An unsatisfiable [`Compressor`](crate::Compressor) or
+    /// [`Open`](crate::Open) configuration.
     Plan(PlanError),
+    /// A malformed frame on the `tucker-serve` wire (either side).
+    Protocol(ProtocolError),
+    /// A `tucker-serve` daemon rejecting a request at its admission cap —
+    /// transient backpressure; the request is safe to retry.
+    Busy {
+        /// Requests in flight when the admission cap rejected this one.
+        in_flight: usize,
+    },
     /// An IO failure.
     Io(io::Error),
 }
@@ -86,6 +151,13 @@ impl fmt::Display for TuckerError {
             TuckerError::Query(e) => write!(f, "query error: {e}"),
             TuckerError::Slab(e) => write!(f, "slab error: {e}"),
             TuckerError::Plan(e) => write!(f, "plan error: {e}"),
+            TuckerError::Protocol(e) => write!(f, "protocol error: {e}"),
+            TuckerError::Busy { in_flight } => {
+                write!(
+                    f,
+                    "service busy ({in_flight} requests in flight); retry later"
+                )
+            }
             TuckerError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -101,6 +173,8 @@ impl std::error::Error for TuckerError {
             TuckerError::Query(e) => Some(e),
             TuckerError::Slab(e) => Some(e),
             TuckerError::Plan(e) => Some(e),
+            TuckerError::Protocol(e) => Some(e),
+            TuckerError::Busy { .. } => None,
             TuckerError::Io(e) => Some(e),
         }
     }
@@ -158,6 +232,12 @@ impl From<QueryError> for TuckerError {
 impl From<PlanError> for TuckerError {
     fn from(e: PlanError) -> Self {
         TuckerError::Plan(e)
+    }
+}
+
+impl From<ProtocolError> for TuckerError {
+    fn from(e: ProtocolError) -> Self {
+        TuckerError::Protocol(e)
     }
 }
 

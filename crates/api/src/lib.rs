@@ -57,5 +57,5 @@ pub use compressor::{
     Compressed, CompressedOutput, CompressionPlan, Compressor, DistRunInfo, KernelPath, Refine,
     Written,
 };
-pub use error::{PlanError, TuckerError};
+pub use error::{PlanError, ProtocolError, TuckerError};
 pub use query::{Open, Reader, TensorQuery};

@@ -18,11 +18,13 @@
 //! # Ok::<(), tucker_api::TuckerError>(())
 //! ```
 
-use crate::error::{open_error, TuckerError};
+use crate::error::{open_error, PlanError, TuckerError};
 use std::path::Path;
 use tucker_core::TuckerTensor;
 use tucker_exec::ExecContext;
-use tucker_store::{QueryError, TkrArtifact, TkrHeader, TkrReader, DEFAULT_CACHE_CHUNKS};
+use tucker_store::{
+    QueryError, SharedChunkCache, TkrArtifact, TkrHeader, TkrReader, DEFAULT_CACHE_CHUNKS,
+};
 use tucker_tensor::{DenseTensor, SubtensorSpec};
 
 /// A uniform, backend-agnostic view of a compressed-tensor artifact.
@@ -270,6 +272,7 @@ pub struct Open {
     mode: OpenMode,
     cache_chunks: usize,
     threads: Option<usize>,
+    shared: Option<(SharedChunkCache, String)>,
 }
 
 impl Open {
@@ -279,6 +282,7 @@ impl Open {
             mode: OpenMode::Eager,
             cache_chunks: DEFAULT_CACHE_CHUNKS,
             threads: None,
+            shared: None,
         }
     }
 
@@ -289,13 +293,33 @@ impl Open {
             mode: OpenMode::Lazy,
             cache_chunks: DEFAULT_CACHE_CHUNKS,
             threads: None,
+            shared: None,
         }
     }
 
-    /// Cache capacity in chunks for the lazy backend (clamped to at least 1;
-    /// ignored by the eager backend, which keeps everything).
+    /// Cache capacity in chunks for the lazy backend (ignored by the eager
+    /// backend, which keeps everything, and by
+    /// [`shared_cache`](Open::shared_cache), whose pool carries its own
+    /// budget).
+    ///
+    /// `0` is rejected with a typed [`PlanError::ZeroCacheChunks`] at
+    /// [`open`](Open::open) — a lazy reader needs at least one resident
+    /// chunk, and the historical "0 silently clamps to 1" sentinel is gone
+    /// from this surface.
     pub fn cache_chunks(mut self, k: usize) -> Open {
-        self.cache_chunks = k.max(1);
+        self.cache_chunks = k;
+        self
+    }
+
+    /// Registers the reader in a [`SharedChunkCache`] under `key` instead of
+    /// giving it a private cache: readers sharing one cache share its global
+    /// residency budget, and readers under the same key share decoded chunks
+    /// and aggregate their accounting. Implies the lazy backend (the eager
+    /// one has no chunk cache). All sessions of a key must name the same
+    /// artifact bytes.
+    pub fn shared_cache(mut self, cache: &SharedChunkCache, key: &str) -> Open {
+        self.mode = OpenMode::Lazy;
+        self.shared = Some((cache.clone(), key.to_string()));
         self
     }
 
@@ -309,8 +333,14 @@ impl Open {
     /// Opens the artifact at `path` with the chosen backend. Corrupt or
     /// truncated artifacts are a typed
     /// [`FormatError`](tucker_store::FormatError); filesystem failures stay
-    /// [`TuckerError::Io`].
+    /// [`TuckerError::Io`]; a [`cache_chunks(0)`](Open::cache_chunks)
+    /// configuration is a typed [`PlanError::ZeroCacheChunks`] on **both**
+    /// backends (the builder validates uniformly, so switching backends
+    /// cannot change which configurations are accepted).
     pub fn open(&self, path: impl AsRef<Path>) -> Result<Reader, TuckerError> {
+        if self.cache_chunks == 0 {
+            return Err(TuckerError::Plan(PlanError::ZeroCacheChunks));
+        }
         let global = ExecContext::global();
         let ctx = match self.threads {
             Some(n) => global.with_budget(n),
@@ -320,9 +350,14 @@ impl Open {
             OpenMode::Eager => TkrArtifact::open_ctx(path, &ctx)
                 .map(Reader::Eager)
                 .map_err(open_error),
-            OpenMode::Lazy => TkrReader::open_with(path, self.cache_chunks, &ctx)
-                .map(Reader::Lazy)
-                .map_err(open_error),
+            OpenMode::Lazy => match &self.shared {
+                Some((cache, key)) => TkrReader::open_shared(path, key, cache, &ctx)
+                    .map(Reader::Lazy)
+                    .map_err(open_error),
+                None => TkrReader::open_with(path, self.cache_chunks, &ctx)
+                    .map(Reader::Lazy)
+                    .map_err(open_error),
+            },
         }
     }
 }

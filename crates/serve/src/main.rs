@@ -1,0 +1,146 @@
+//! `tucker-serve` command line: run the daemon, or poke one as a client.
+//!
+//! ```text
+//! tucker-serve serve --listen 127.0.0.1:7421 wave=artifacts/wave.tkr heat=artifacts/heat.tkr
+//! tucker-serve list    127.0.0.1:7421
+//! tucker-serve open    127.0.0.1:7421 wave
+//! tucker-serve element 127.0.0.1:7421 wave 3 1 4
+//! tucker-serve stats   127.0.0.1:7421
+//! ```
+//!
+//! The daemon runs until the process is killed; stats print per-artifact
+//! shared-cache accounting (decoded chunks, hits, resident).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tucker_serve::{serve, ServeClient, ServeConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => run_server(&args[1..]),
+        Some("list") => with_client(&args[1..], 0, |client, _| {
+            for info in client.list().map_err(err)? {
+                let state = if info.opened { "open" } else { "registered" };
+                println!("{:<24} {state}", info.name);
+            }
+            Ok(())
+        }),
+        Some("open") => with_client(&args[1..], 1, |client, rest| {
+            let h = client.open(&rest[0]).map_err(err)?;
+            println!(
+                "dims={:?} ranks={:?} codec={} chunks={} file_bytes={}",
+                h.dims,
+                h.ranks,
+                h.codec.name(),
+                h.chunk_count,
+                h.file_bytes
+            );
+            Ok(())
+        }),
+        Some("element") => with_client(&args[1..], 2, |client, rest| {
+            let name = &rest[0];
+            let idx: Vec<usize> = rest[1..]
+                .iter()
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|e| format!("bad index {s:?}: {e}"))
+                })
+                .collect::<Result<_, _>>()?;
+            println!("{:.17e}", client.element(name, &idx).map_err(err)?);
+            Ok(())
+        }),
+        Some("stats") => with_client(&args[1..], 0, |client, _| {
+            let s = client.stats().map_err(err)?;
+            println!(
+                "served={} busy_rejections={} protocol_errors={} in_flight={}",
+                s.served, s.busy_rejections, s.protocol_errors, s.in_flight
+            );
+            for a in &s.artifacts {
+                println!(
+                    "  {:<24} decoded={} hits={} resident={}",
+                    a.name, a.decoded_chunks, a.cache_hits, a.resident_chunks
+                );
+            }
+            Ok(())
+        }),
+        _ => {
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("tucker-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  tucker-serve serve --listen ADDR NAME=PATH [NAME=PATH ...]\n  \
+         tucker-serve list ADDR\n  tucker-serve open ADDR NAME\n  \
+         tucker-serve element ADDR NAME I J K ...\n  tucker-serve stats ADDR"
+    );
+}
+
+fn run_server(args: &[String]) -> Result<(), String> {
+    let mut listen = None;
+    let mut artifacts: Vec<(String, PathBuf)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--listen" {
+            listen = Some(
+                it.next()
+                    .ok_or_else(|| "--listen needs an address".to_string())?
+                    .clone(),
+            );
+        } else if let Some((name, path)) = arg.split_once('=') {
+            artifacts.push((name.to_string(), PathBuf::from(path)));
+        } else {
+            return Err(format!(
+                "unrecognized argument {arg:?} (expected NAME=PATH)"
+            ));
+        }
+    }
+    let listen = listen.ok_or_else(|| "missing --listen ADDR".to_string())?;
+    if artifacts.is_empty() {
+        return Err("register at least one NAME=PATH artifact".to_string());
+    }
+    let handle = serve(listen.as_str(), &artifacts, ServeConfig::default())
+        .map_err(|e| format!("cannot start daemon on {listen}: {e}"))?;
+    println!(
+        "tucker-serve listening on {} ({} artifacts)",
+        handle.addr(),
+        artifacts.len()
+    );
+    // Park forever; the daemon's own threads do all the work. Killing the
+    // process is the supported way to stop a CLI-launched daemon.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn with_client(
+    args: &[String],
+    min_rest: usize,
+    body: impl FnOnce(&mut ServeClient, &[String]) -> Result<(), String>,
+) -> Result<(), String> {
+    let addr = args.first().ok_or_else(|| {
+        usage();
+        "missing server address".to_string()
+    })?;
+    if args.len() < 1 + min_rest {
+        usage();
+        return Err("missing arguments".to_string());
+    }
+    let mut client = ServeClient::connect(addr.as_str())
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    body(&mut client, &args[1..])
+}

@@ -7,8 +7,16 @@
 //! (small) factor matrices, and builds a *chunk directory* — the file offset
 //! and core range of every `TAG_CORE_CHUNK` block — without reading any
 //! core payload. Queries then pull chunks on demand through a bounded LRU
-//! [`ChunkCache`]; cache misses within one wave are codec-decoded in
-//! parallel on the reader's `ExecContext`.
+//! cache; cache misses within one wave are codec-decoded in parallel on the
+//! reader's `ExecContext`.
+//!
+//! Caching always goes through a [`crate::shared::CacheSession`]:
+//! [`TkrReader::open_with`] gives the reader a private single-stripe
+//! [`crate::shared::SharedChunkCache`] (exactly the historical per-reader
+//! LRU), while [`TkrReader::open_shared`] registers the reader in a cache
+//! shared with other sessions, so many readers of one artifact decode each
+//! chunk once and stay within one global residency budget — the service
+//! posture `tucker-serve` builds on.
 //!
 //! Partial reconstruction never assembles the core: each chunk is a run of
 //! whole last-mode core slabs, so a window query contracts chunk `c` with
@@ -21,13 +29,14 @@
 //! `tests/store_roundtrip.rs`); peak memory is `O(decoded chunks in cache +
 //! output + one chunk-sized intermediate)`.
 
+use crate::error::{FormatError, StoreError};
 use crate::format::{invalid, read_u32, read_u64, TkrHeader, TAG_CORE_CHUNK, TAG_END, TAG_FACTOR};
 use crate::query::{validate_point, validate_ranges, validate_slice, validate_spec, QueryError};
+use crate::shared::{CacheSession, SharedChunkCache};
 use crate::writer::codec_wave_chunks;
 use std::fs::File;
 use std::io::{self, BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use tucker_exec::ExecContext;
 use tucker_linalg::gemm::{gemm_slices, Transpose};
@@ -201,61 +210,9 @@ pub(crate) fn scan_artifact(path: impl AsRef<Path>) -> io::Result<ScannedArtifac
     })
 }
 
-/// A bounded LRU cache of decoded core chunks, keyed by chunk index. State
-/// is `O(resident)` — never `O(total chunks)` — so a sweep over a huge-core
-/// artifact costs `O(capacity)` per miss, not a scan of the directory.
-struct ChunkCache {
-    capacity: usize,
-    tick: u64,
-    entries: std::collections::HashMap<usize, (u64, Arc<Vec<f64>>)>,
-    resident: usize,
-}
-
-impl ChunkCache {
-    fn new(capacity: usize) -> ChunkCache {
-        let capacity = capacity.max(1);
-        ChunkCache {
-            capacity,
-            tick: 0,
-            entries: std::collections::HashMap::with_capacity(capacity + 1),
-            resident: 0,
-        }
-    }
-
-    /// Probes chunk `i`, refreshing its LRU stamp on a hit.
-    fn get(&mut self, i: usize) -> Option<Arc<Vec<f64>>> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.entries.get_mut(&i).map(|(stamp, data)| {
-            *stamp = tick;
-            Arc::clone(data)
-        })
-    }
-
-    /// Inserts a freshly decoded chunk, evicting least-recently-used
-    /// entries (an `O(capacity)` min-stamp scan over the resident set) until
-    /// the capacity bound holds again.
-    fn insert(&mut self, i: usize, data: Arc<Vec<f64>>) {
-        self.tick += 1;
-        if self.entries.insert(i, (self.tick, data)).is_none() {
-            self.resident += 1;
-        }
-        while self.resident > self.capacity {
-            let oldest = self
-                .entries
-                .iter()
-                .map(|(&j, (stamp, _))| (*stamp, j))
-                .min()
-                .map(|(_, j)| j)
-                .expect("resident > 0 implies an entry exists");
-            self.entries.remove(&oldest);
-            self.resident -= 1;
-        }
-    }
-}
-
 /// A lazily decoding `.tkr` reader: chunk directory built at open, chunks
-/// decoded on demand behind a bounded LRU cache.
+/// decoded on demand behind a bounded LRU cache (private by default, shared
+/// across readers via [`TkrReader::open_shared`]).
 ///
 /// All queries are `&self` (internally synchronized) and return the same
 /// bytes the eager [`crate::TkrArtifact`] would, while decoding only the
@@ -267,10 +224,8 @@ pub struct TkrReader {
     core_total: usize,
     file_bytes: u64,
     io: Mutex<BufReader<File>>,
-    cache: Mutex<ChunkCache>,
+    cache: CacheSession,
     ctx: ExecContext,
-    decoded: AtomicUsize,
-    hits: AtomicUsize,
 }
 
 impl TkrReader {
@@ -281,11 +236,66 @@ impl TkrReader {
         TkrReader::open_with(path, DEFAULT_CACHE_CHUNKS, ExecContext::global())
     }
 
-    /// [`TkrReader::open`] with an explicit cache capacity (in chunks,
-    /// clamped to at least 1) and execution context for parallel decode.
+    /// [`TkrReader::open`] with an explicit cache capacity (in chunks) and
+    /// execution context for parallel decode.
+    ///
+    /// For backwards compatibility this surface **clamps** `cache_chunks` to
+    /// at least 1 — `0` is not "unbounded", it is a single-chunk cache. Use
+    /// [`TkrReader::try_open_with`] to get a typed error for `0` instead of
+    /// the clamp.
     pub fn open_with(
         path: impl AsRef<Path>,
         cache_chunks: usize,
+        ctx: &ExecContext,
+    ) -> io::Result<TkrReader> {
+        let key = path.as_ref().display().to_string();
+        let cache = SharedChunkCache::new(cache_chunks.max(1), 1).register(&key);
+        TkrReader::open_session(path, cache, ctx)
+    }
+
+    /// [`TkrReader::open_with`] on the fallible surface: a cache capacity of
+    /// `0` chunks is rejected with a typed [`StoreError`] (the historical
+    /// surface silently clamps it to 1), and read-side parse failures come
+    /// back as [`FormatError::Invalid`] instead of a bare
+    /// `io::ErrorKind::InvalidData`.
+    pub fn try_open_with(
+        path: impl AsRef<Path>,
+        cache_chunks: usize,
+        ctx: &ExecContext,
+    ) -> Result<TkrReader, StoreError> {
+        if cache_chunks == 0 {
+            return Err(StoreError::Format(FormatError::Invalid(
+                "cache capacity of 0 chunks (a lazy reader needs at least 1 resident chunk)"
+                    .to_string(),
+            )));
+        }
+        TkrReader::open_with(path, cache_chunks, ctx).map_err(|e| {
+            if e.kind() == io::ErrorKind::InvalidData {
+                StoreError::Format(FormatError::Invalid(e.to_string()))
+            } else {
+                StoreError::Io(e)
+            }
+        })
+    }
+
+    /// Opens an artifact lazily with its chunk cache registered in `cache`
+    /// under `key`: readers sharing one cache (under the same or different
+    /// keys) share its global residency budget, and readers registered under
+    /// the **same key** additionally share decoded chunks and aggregate
+    /// their hit/decode/resident accounting. All sessions of a key must name
+    /// the same artifact bytes (see [`SharedChunkCache`]).
+    pub fn open_shared(
+        path: impl AsRef<Path>,
+        key: &str,
+        cache: &SharedChunkCache,
+        ctx: &ExecContext,
+    ) -> io::Result<TkrReader> {
+        TkrReader::open_session(path, cache.register(key), ctx)
+    }
+
+    fn open_session(
+        path: impl AsRef<Path>,
+        cache: CacheSession,
         ctx: &ExecContext,
     ) -> io::Result<TkrReader> {
         let scanned = scan_artifact(path)?;
@@ -296,10 +306,8 @@ impl TkrReader {
             core_total: scanned.core_total,
             file_bytes: scanned.file_bytes,
             io: Mutex::new(scanned.file),
-            cache: Mutex::new(ChunkCache::new(cache_chunks)),
+            cache,
             ctx: ctx.clone(),
-            decoded: AtomicUsize::new(0),
-            hits: AtomicUsize::new(0),
         })
     }
 
@@ -321,22 +329,29 @@ impl TkrReader {
 
     /// Cumulative number of chunk decodes performed — the "never decodes
     /// more than the touched chunks" accounting the tests pin (a repeat
-    /// query over cached chunks adds nothing here).
+    /// query over cached chunks adds nothing here). On a reader opened via
+    /// [`TkrReader::open_shared`] this aggregates over every session of the
+    /// artifact's cache key, not just this reader.
     pub fn decoded_chunks(&self) -> usize {
-        self.decoded.load(Ordering::Relaxed)
+        self.cache.decoded_chunks()
     }
 
-    /// Cumulative number of cache hits.
+    /// Cumulative number of cache hits (aggregated per artifact key on a
+    /// shared cache, like [`TkrReader::decoded_chunks`]).
     pub fn cache_hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.cache.cache_hits()
     }
 
-    /// Number of decoded chunks currently resident (≤ the cache capacity).
+    /// Number of this artifact's decoded chunks currently resident (≤ the
+    /// cache capacity).
     pub fn resident_chunks(&self) -> usize {
-        self.cache
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .resident
+        self.cache.resident_chunks()
+    }
+
+    /// The cache session this reader decodes through (per-artifact stats,
+    /// the pool's capacity).
+    pub fn cache_session(&self) -> &CacheSession {
+        &self.cache
     }
 
     /// Total declared relative error budget: decomposition ε plus the
@@ -364,30 +379,20 @@ impl TkrReader {
     /// the wave in flight.
     fn for_each_chunk(&self, mut f: impl FnMut(&ChunkEntry, &[f64])) -> Result<(), QueryError> {
         let wave_len = codec_wave_chunks(&self.ctx)
-            .min(
-                self.cache
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .capacity,
-            )
+            .min(self.cache.capacity())
             .max(1);
         let codec = self.header.codec;
         let mut base = 0usize;
         while base < self.chunks.len() {
             let wave = &self.chunks[base..(base + wave_len).min(self.chunks.len())];
 
-            // Probe the cache for the whole wave.
-            let mut resolved: Vec<Option<Arc<Vec<f64>>>> = {
-                let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-                wave.iter()
-                    .enumerate()
-                    .map(|(i, _)| cache.get(base + i))
-                    .collect()
-            };
-            self.hits.fetch_add(
-                resolved.iter().filter(|r| r.is_some()).count(),
-                Ordering::Relaxed,
-            );
+            // Probe the cache for the whole wave (hits counted per artifact
+            // by the session).
+            let mut resolved: Vec<Option<Arc<Vec<f64>>>> = wave
+                .iter()
+                .enumerate()
+                .map(|(i, _)| self.cache.get(base + i))
+                .collect();
 
             // Read the payloads of every miss (sequential IO, ascending).
             let mut misses: Vec<(usize, Vec<u8>, Vec<f64>)> = Vec::new();
@@ -407,17 +412,15 @@ impl TkrReader {
             // Decode the wave's misses in parallel: exactly-sized in-memory
             // payloads make the per-chunk decode infallible.
             if !misses.is_empty() {
-                self.decoded.fetch_add(misses.len(), Ordering::Relaxed);
                 self.ctx.for_each_slot(&mut misses, |_, (i, payload, out)| {
                     let len = wave[*i].len;
                     *out = codec
                         .decode_block(&mut io::Cursor::new(&payload[..]), len)
                         .expect("in-memory decode of an exactly-sized payload cannot fail");
                 });
-                let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
                 for (i, _, decoded) in misses {
                     let data = Arc::new(decoded);
-                    cache.insert(base + i, Arc::clone(&data));
+                    self.cache.insert(base + i, Arc::clone(&data));
                     resolved[i] = Some(data);
                 }
             }

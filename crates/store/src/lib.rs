@@ -65,6 +65,7 @@ pub mod format;
 pub mod lazy;
 pub mod query;
 pub mod reader;
+pub mod shared;
 pub mod writer;
 
 pub use codec::Codec;
@@ -73,6 +74,7 @@ pub use format::{TkrHeader, TkrMetadata};
 pub use lazy::{TkrReader, DEFAULT_CACHE_CHUNKS};
 pub use query::QueryError;
 pub use reader::TkrArtifact;
+pub use shared::{ArtifactCacheStats, CacheSession, SharedChunkCache};
 pub use writer::{
     compress_streaming, gather_and_write, try_write_tucker, try_write_tucker_ctx, write_tucker,
     write_tucker_ctx, EncodeReport, StoreOptions, TkrWriter,
@@ -669,5 +671,180 @@ mod tests {
         let r = w.write_core_chunk(t.core.last_mode_slab(0, 1));
         r.unwrap();
         let _ = w.finish();
+    }
+
+    /// Writes `t` one last-mode slab per chunk (the multi-chunk layout the
+    /// shared-cache tests need) and returns the path.
+    fn write_chunked(tag: &str, t: &TuckerTensor, codec: Codec) -> PathBuf {
+        let path = temp_tkr(tag);
+        let header = TkrHeader {
+            dims: t.original_dims(),
+            ranks: t.ranks(),
+            eps: 1e-4,
+            codec,
+            quant_error_bound: 0.0,
+            meta: TkrMetadata::default(),
+        };
+        let mut w = TkrWriter::create(&path, header).unwrap();
+        for (n, u) in t.factors.iter().enumerate() {
+            w.write_factor(n, u).unwrap();
+        }
+        let last = *t.core.dims().last().unwrap();
+        for s in 0..last {
+            w.write_core_chunk(t.core.last_mode_slab(s, 1)).unwrap();
+        }
+        w.finish().unwrap();
+        path
+    }
+
+    #[test]
+    fn shared_sessions_on_one_artifact_populate_a_single_cache() {
+        let (_, t) = compressed(&[8, 7, 10], 1e-4);
+        let path = write_chunked("shared_single", &t, Codec::F64);
+        let ctx = tucker_exec::ExecContext::global();
+        let cache = SharedChunkCache::new(64, 4);
+        let a = TkrReader::open_shared(&path, "field", &cache, ctx).unwrap();
+        let b = TkrReader::open_shared(&path, "field", &cache, ctx).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // A full sweep by reader A, then re-queries by both readers: the
+        // aggregate decode count must stay at the chunk count — reader B
+        // never decodes anything, it reads A's chunks out of the shared pool.
+        let full_a = a.reconstruct().unwrap();
+        assert_eq!(a.decoded_chunks(), a.chunk_count());
+        let full_b = b.reconstruct().unwrap();
+        assert_eq!(full_a, full_b);
+        b.element(&[1, 2, 3]).unwrap();
+        a.reconstruct_range(&[(0, 4), (1, 3), (2, 5)]).unwrap();
+        assert_eq!(
+            b.decoded_chunks(),
+            b.chunk_count(),
+            "re-queries through a warm shared cache must not decode again"
+        );
+        // Both sessions see the same per-artifact aggregate stats.
+        assert_eq!(
+            cache.artifact_stats("field").unwrap(),
+            a.cache_session().stats()
+        );
+        assert_eq!(a.cache_hits(), b.cache_hits());
+    }
+
+    #[test]
+    fn concurrent_shared_sessions_stay_correct_and_within_budget() {
+        let (_, t) = compressed(&[8, 7, 12], 1e-4);
+        let path = write_chunked("shared_conc", &t, Codec::F64);
+        let ctx = tucker_exec::ExecContext::global();
+        // A budget smaller than the chunk count keeps eviction live under
+        // the concurrent load.
+        let cache = SharedChunkCache::new(5, 2);
+        let reader = std::sync::Arc::new(TkrReader::open_shared(&path, "x", &cache, ctx).unwrap());
+        let expected = TkrArtifact::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let want_full = expected.reconstruct();
+
+        std::thread::scope(|scope| {
+            for who in 0..4 {
+                let reader = std::sync::Arc::clone(&reader);
+                let want = want_full.clone();
+                let expected = &expected;
+                scope.spawn(move || {
+                    for round in 0..3 {
+                        let i = (who + round) % 8;
+                        let got = reader
+                            .reconstruct_range(&[(i, 1), (0, 7), (0, 12)])
+                            .unwrap();
+                        let exp = expected
+                            .reconstruct_range(&[(i, 1), (0, 7), (0, 12)])
+                            .unwrap();
+                        assert_eq!(got, exp, "client {who} round {round}");
+                        assert_eq!(reader.reconstruct().unwrap(), want);
+                    }
+                });
+            }
+        });
+        assert!(cache.resident_total() <= cache.capacity());
+        assert!(reader.resident_chunks() <= cache.capacity());
+    }
+
+    #[test]
+    fn shared_eviction_respects_the_global_budget_across_artifacts() {
+        let (_, t1) = compressed(&[8, 7, 10], 1e-4);
+        let (_, t2) = compressed(&[6, 9, 8], 1e-4);
+        let p1 = write_chunked("budget_a", &t1, Codec::F64);
+        let p2 = write_chunked("budget_b", &t2, Codec::F32);
+        let ctx = tucker_exec::ExecContext::global();
+        let cache = SharedChunkCache::new(6, 3);
+        let a = TkrReader::open_shared(&p1, "a", &cache, ctx).unwrap();
+        let b = TkrReader::open_shared(&p2, "b", &cache, ctx).unwrap();
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+
+        // Together the artifacts have 18 chunks against a 6-chunk budget:
+        // interleaved sweeps must stay inside it at every step.
+        for _ in 0..3 {
+            a.reconstruct().unwrap();
+            assert!(cache.resident_total() <= cache.capacity());
+            b.reconstruct().unwrap();
+            assert!(cache.resident_total() <= cache.capacity());
+        }
+        assert_eq!(
+            a.resident_chunks() + b.resident_chunks(),
+            cache.resident_total()
+        );
+        // Both artifacts show up in the aggregate listing.
+        let names: Vec<String> = cache.artifacts().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn private_cache_accounting_matches_shared_single_session() {
+        // The historical private-LRU accounting and a single-session shared
+        // cache must agree stat-for-stat on the same workload: the private
+        // path *is* a one-stripe shared cache, and this pins it.
+        let (_, t) = compressed(&[8, 7, 10], 1e-4);
+        let path = write_chunked("parity", &t, Codec::Q16);
+        let ctx = tucker_exec::ExecContext::global();
+        let private = TkrReader::open_with(&path, 3, ctx).unwrap();
+        let cache = SharedChunkCache::new(3, 1);
+        let shared = TkrReader::open_shared(&path, "p", &cache, ctx).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let workload = |r: &TkrReader| {
+            r.element(&[0, 0, 0]).unwrap();
+            r.reconstruct_range(&[(0, 4), (0, 7), (2, 6)]).unwrap();
+            r.reconstruct_slice(2, 9).unwrap();
+            r.elements(&[&[1, 2, 3], &[7, 6, 5]]).unwrap();
+        };
+        workload(&private);
+        workload(&shared);
+        assert_eq!(private.decoded_chunks(), shared.decoded_chunks());
+        assert_eq!(private.cache_hits(), shared.cache_hits());
+        assert_eq!(private.resident_chunks(), shared.resident_chunks());
+        assert_eq!(
+            private.cache_session().stats(),
+            shared.cache_session().stats()
+        );
+    }
+
+    #[test]
+    fn zero_cache_chunks_is_a_typed_error_on_the_try_path_and_a_clamp_on_the_old_one() {
+        let (_, t) = compressed(&[6, 6, 6], 1e-3);
+        let path = write_chunked("zero_cache", &t, Codec::F64);
+        let ctx = tucker_exec::ExecContext::global();
+        // try_ path: typed rejection, before any IO interpretation.
+        match TkrReader::try_open_with(&path, 0, ctx) {
+            Err(StoreError::Format(FormatError::Invalid(msg))) => {
+                assert!(msg.contains("cache capacity"), "unhelpful message: {msg}")
+            }
+            other => panic!("expected a typed Format error, got {other:?}"),
+        }
+        // try_ path succeeds for any positive capacity.
+        let r = TkrReader::try_open_with(&path, 1, ctx).unwrap();
+        // Historical path: 0 documentedly clamps to a single-chunk cache.
+        let clamped = TkrReader::open_with(&path, 0, ctx).unwrap();
+        std::fs::remove_file(&path).ok();
+        clamped.reconstruct().unwrap();
+        assert!(clamped.resident_chunks() <= 1);
+        assert_eq!(r.reconstruct().unwrap(), t.reconstruct());
     }
 }

@@ -56,6 +56,12 @@ pub enum QueryError {
     },
     /// An IO failure while reading chunks on the lazy path.
     Io(io::Error),
+    /// A rejection reported by a remote query service: the wire protocol
+    /// carries the diagnostic text but erases the variant structure.
+    Remote {
+        /// The remote side's diagnostic message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -80,6 +86,9 @@ impl std::fmt::Display for QueryError {
                 write!(f, "mode {mode} out of range for a {ndims}-mode artifact")
             }
             QueryError::Io(e) => write!(f, "IO error while answering query: {e}"),
+            QueryError::Remote { message } => {
+                write!(f, "query rejected by remote service: {message}")
+            }
         }
     }
 }

@@ -19,6 +19,10 @@
 //! * [`scidata`] — synthetic combustion-surrogate datasets and normalization.
 //! * [`store`]   — the `.tkr` compressed-tensor container, quantized codecs,
 //!   and partial-reconstruction queries.
+//! * [`serve`]   — the query daemon: a `std::net` TCP service exposing
+//!   registered artifacts to concurrent clients over a length-prefixed
+//!   binary protocol, with a shared decoded-chunk cache, bounded worker
+//!   pool, and graceful drain.
 //!
 //! See the repository README for a guided tour and the `examples/` directory
 //! for runnable end-to-end programs (all written against [`api`]).
@@ -29,6 +33,7 @@ pub use tucker_distmem as distmem;
 pub use tucker_exec as exec;
 pub use tucker_linalg as linalg;
 pub use tucker_scidata as scidata;
+pub use tucker_serve as serve;
 pub use tucker_store as store;
 pub use tucker_tensor as tensor;
 
@@ -53,9 +58,10 @@ pub mod prelude {
     pub use tucker_exec::{ExecContext, Workspace};
     pub use tucker_linalg::Matrix;
     pub use tucker_scidata::{DatasetPreset, NoisyLowRank, SpectralDecay};
+    pub use tucker_serve::{serve, ServeClient, ServeConfig, ServerHandle};
     pub use tucker_store::{
-        gather_and_write, try_write_tucker, write_tucker, Codec, StoreOptions, TkrArtifact,
-        TkrMetadata, TkrReader,
+        gather_and_write, try_write_tucker, write_tucker, Codec, SharedChunkCache, StoreOptions,
+        TkrArtifact, TkrMetadata, TkrReader,
     };
     pub use tucker_tensor::{
         normalized_rms_error, DenseTensor, SlabSource, SubtensorSpec, TtmTranspose,

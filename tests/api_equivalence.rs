@@ -599,6 +599,19 @@ fn open_and_query_failures_are_typed_errors() {
         // And valid requests still succeed afterwards.
         assert!(reader.element(&[5, 4, 3]).is_ok());
     }
+
+    // cache_chunks(0) is a typed plan error on BOTH backends — a lazy
+    // reader cannot function with zero resident chunks, and the eager
+    // builder rejects it uniformly rather than silently ignoring it.
+    for builder in [Open::eager(), Open::lazy()] {
+        assert!(matches!(
+            builder.cache_chunks(0).open(&path),
+            Err(TuckerError::Plan(PlanError::ZeroCacheChunks))
+        ));
+    }
+    // cache_chunks(1) remains the legal minimum and answers correctly.
+    let minimal = Open::lazy().cache_chunks(1).open(&path).unwrap();
+    assert!(minimal.element(&[5, 4, 3]).is_ok());
     std::fs::remove_file(&path).ok();
 }
 

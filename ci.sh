@@ -54,6 +54,12 @@ echo "== table6_service (daemon byte-identity + liveness gate) =="
 # (the watchdog turns a wedged service into exit code 3).
 TUCKER_TABLE6_SMOKE=1 cargo run --release -p tucker-bench --bin table6_service
 
+echo "== obs_overhead (observability overhead gate) =="
+# Full compress→store→query pipeline on the SP surrogate, alternating
+# metrics-off / metrics-on trials; exits non-zero if the metrics-on median
+# breaks the 5%-plus-jitter-floor budget (ARCHITECTURE §9 contract).
+TUCKER_OBS_SMOKE=1 cargo run --release -p tucker-bench --bin obs_overhead
+
 echo "== cargo doc -p tucker-api (missing/broken docs are errors) =="
 # The facade crate carries #![deny(missing_docs)]; this pass additionally
 # promotes rustdoc warnings (broken intra-doc links, bad code fences) to
@@ -68,7 +74,9 @@ gate_ok=1
 for f in crates/api/src/lib.rs crates/api/src/error.rs \
          crates/api/src/compressor.rs crates/api/src/query.rs \
          crates/core/src/validate.rs crates/store/src/error.rs \
-         crates/serve/src/proto.rs crates/serve/src/client.rs; do
+         crates/serve/src/proto.rs crates/serve/src/client.rs \
+         crates/serve/src/metrics.rs crates/obs/src/lib.rs \
+         crates/obs/src/metrics.rs crates/obs/src/trace.rs; do
   if [ ! -f "$f" ]; then
     echo "panic-grep gate: fallible-surface file $f is missing (renamed? update ci.sh)"
     gate_ok=0

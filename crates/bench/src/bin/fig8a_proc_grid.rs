@@ -109,4 +109,8 @@ fn main() {
          communication in the dominant first-mode Gram), and Gram dominates the\n\
          first iteration's cost."
     );
+    // Under TUCKER_TRACE, close the sink so the chrome trace of the
+    // distributed runs (dist.gram/dist.evecs/dist.ttm spans from every
+    // simulated rank) is complete and strictly valid JSON.
+    tucker_obs::trace::uninstall();
 }

@@ -135,4 +135,7 @@ fn main() {
          compressible mode) disagree, and the measured optimum favors eliminating a\n\
          high-compression mode early — the paper's Fig. 8b observation."
     );
+    // Under TUCKER_TRACE, close the sink so the chrome trace of the
+    // distributed runs is complete and strictly valid JSON.
+    tucker_obs::trace::uninstall();
 }

@@ -120,6 +120,9 @@ fn main() {
         "\nShape check passed: near-ideal scaling at low node counts, flattening at\n\
          high counts as communication dominates — the Fig. 9a curve."
     );
+    // Under TUCKER_TRACE, close the sink so the chrome trace of the
+    // distributed runs is complete and strictly valid JSON.
+    tucker_obs::trace::uninstall();
 }
 
 /// Picks a 4-way factorization of `p` that minimizes the model's ST-HOSVD time

@@ -130,4 +130,7 @@ fn main() {
          grows — the Fig. 9b curve (the paper reports 66% of peak at one node and\n\
          17% at 1296 nodes; the model reproduces that qualitative falloff)."
     );
+    // Under TUCKER_TRACE, close the sink so the chrome trace of the
+    // distributed runs is complete and strictly valid JSON.
+    tucker_obs::trace::uninstall();
 }

@@ -1,0 +1,146 @@
+//! Observability overhead gate: the `tucker-obs` instrumentation must be
+//! effectively free.
+//!
+//! Runs the full compress → store → query pipeline on the SP surrogate
+//! twice per trial — once with the metrics registry disabled
+//! (`set_enabled(false)`, every instrument a no-op) and once enabled —
+//! strictly alternating so clock drift and cache warmth hit both arms
+//! equally. The gate compares the per-arm medians and **exits non-zero**
+//! if the metrics-on median exceeds the metrics-off median by more than
+//! 5% plus a small absolute floor (the floor absorbs scheduler jitter on
+//! small/oversubscribed CI machines; the 5% is the contract from the
+//! observability design note in ARCHITECTURE §9).
+//!
+//! Run: `cargo run --release -p tucker-bench --bin obs_overhead`
+//! Smoke (fewer trials, CI-sized): `TUCKER_OBS_SMOKE=1 cargo run ...`
+
+use std::time::Instant;
+use tucker_api::{Compressor, Open, TensorQuery};
+use tucker_scidata::DatasetPreset;
+
+/// Tolerated slowdown: on ≤ off × (1 + REL_TOL) + ABS_FLOOR_MS.
+const REL_TOL: f64 = 0.05;
+/// Absolute jitter floor in milliseconds. On an oversubscribed single-core
+/// CI box a timer tick of scheduler noise is indistinguishable from real
+/// overhead; anything under this is noise, not instrumentation cost.
+const ABS_FLOOR_MS: f64 = 25.0;
+
+fn main() {
+    let smoke = std::env::var("TUCKER_OBS_SMOKE").is_ok_and(|v| v != "0");
+    let pairs = if smoke { 3 } else { 5 };
+
+    println!("obs_overhead — metrics-on vs metrics-off on the SP surrogate\n");
+
+    // Generate once, outside all timing; the pipeline under test starts at
+    // compression. Smoke keeps the surrogate itself (the queries below are
+    // artifact-sized, not data-sized) but runs fewer trials.
+    let ds = DatasetPreset::Sp.generate(1, 2024);
+    let dims = ds.data.dims().to_vec();
+    println!("dataset: SP surrogate dims={dims:?}, {pairs} alternating trial pairs");
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tucker_obs_overhead_{}.tkr", std::process::id()));
+
+    let mut off_ms: Vec<f64> = Vec::new();
+    let mut on_ms: Vec<f64> = Vec::new();
+
+    // One untimed warm-up run so file-system and allocator warm-up costs
+    // are paid before either arm is measured.
+    run_pipeline(&ds.data, &path);
+
+    for pair in 0..pairs {
+        for &on in &[false, true] {
+            tucker_obs::metrics::set_enabled(on);
+            let t0 = Instant::now();
+            let checksum = run_pipeline(&ds.data, &path);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            tucker_obs::metrics::set_enabled(true);
+            assert!(
+                checksum.is_finite(),
+                "pipeline produced a non-finite query checksum"
+            );
+            let arm = if on { "on " } else { "off" };
+            println!("  pair {pair} metrics={arm} {ms:9.1} ms (checksum {checksum:.6e})");
+            if on {
+                on_ms.push(ms);
+            } else {
+                off_ms.push(ms);
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+
+    let off_med = median(&mut off_ms);
+    let on_med = median(&mut on_ms);
+    let budget = off_med * (1.0 + REL_TOL) + ABS_FLOOR_MS;
+    let delta_pct = (on_med - off_med) / off_med * 100.0;
+    println!(
+        "\nmedians: off {off_med:.1} ms, on {on_med:.1} ms ({delta_pct:+.2}%); \
+         budget {budget:.1} ms (off x {:.2} + {ABS_FLOOR_MS:.0} ms floor)",
+        1.0 + REL_TOL
+    );
+
+    if on_med <= budget {
+        println!(
+            "overhead gate passed: metrics-on is within the {:.0}% contract",
+            REL_TOL * 100.0
+        );
+    } else {
+        println!(
+            "overhead gate FAILED: metrics-on median {on_med:.1} ms exceeds budget {budget:.1} ms"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The pipeline under test: compress the surrogate, write the artifact,
+/// reopen it lazily, and answer a representative query mix. Returns a
+/// checksum over the query answers so the whole chain stays observable to
+/// the optimizer (and so both arms can be asserted to do real work).
+fn run_pipeline(data: &tucker_tensor::DenseTensor, path: &std::path::Path) -> f64 {
+    Compressor::new(data)
+        .tolerance(1e-3)
+        .write_to(path)
+        .unwrap_or_else(|e| panic!("compress/write failed: {e}"));
+
+    let reader = Open::lazy()
+        .cache_chunks(32)
+        .open(path)
+        .unwrap_or_else(|e| panic!("open failed: {e}"));
+
+    let dims = reader.dims().to_vec();
+    let mut checksum = 0.0f64;
+
+    // Point queries scattered across the tensor.
+    for k in 0..16usize {
+        let idx: Vec<usize> = dims
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| (k * (m + 3) * 7919) % d)
+            .collect();
+        checksum += reader
+            .element(&idx)
+            .unwrap_or_else(|e| panic!("element query failed: {e}"));
+    }
+
+    // A window covering a corner of every mode.
+    let ranges: Vec<(usize, usize)> = dims.iter().map(|&d| (0, (d / 3).max(1))).collect();
+    let window = reader
+        .reconstruct_range(&ranges)
+        .unwrap_or_else(|e| panic!("range query failed: {e}"));
+    checksum += window.as_slice().iter().sum::<f64>();
+
+    // One hyperslice along the last mode.
+    let last = dims.len() - 1;
+    let slice = reader
+        .reconstruct_slice(last, dims[last] / 2)
+        .unwrap_or_else(|e| panic!("slice query failed: {e}"));
+    checksum += slice.as_slice().iter().sum::<f64>();
+
+    checksum
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}

@@ -119,9 +119,34 @@ fn write_slab_chunked(path: &PathBuf, t: &TuckerTensor, codec: Codec, eps: f64) 
     w.finish().expect("finish artifact");
 }
 
+/// Client-side wire-request attempts per server opcode: every frame this
+/// harness actually sent, busy-rejected retries included — exactly the
+/// requests the daemon's per-opcode latency histograms observe.
+#[derive(Default, Clone, Copy)]
+struct WireAttempts {
+    element: u64,
+    elements: u64,
+    range: u64,
+    slice: u64,
+    stats: u64,
+    list: u64,
+}
+
+impl WireAttempts {
+    fn add(&mut self, other: &WireAttempts) {
+        self.element += other.element;
+        self.elements += other.elements;
+        self.range += other.range;
+        self.slice += other.slice;
+        self.stats += other.stats;
+        self.list += other.list;
+    }
+}
+
 struct ClientOutcome {
     /// (op, latency) per successful request.
     latencies: Vec<(Op, Duration)>,
+    attempts: WireAttempts,
     busy_retries: u64,
     mismatches: u64,
 }
@@ -144,9 +169,18 @@ fn run_client(
     let mut rng = Rng(0x5EED_0000 + id as u64 * 0x1_0001);
     let mut out = ClientOutcome {
         latencies: Vec::with_capacity(ops),
+        attempts: WireAttempts::default(),
         busy_retries: 0,
         mismatches: 0,
     };
+
+    // Warm the connection with one untimed control request: the daemon's
+    // accept loop polls every 20ms, so a fresh connection's first request
+    // can absorb that much client-side wait before a session thread even
+    // reads it — a delay the server-side histograms never see. It still
+    // counts as a wire attempt (the server observes it).
+    out.attempts.list += 1;
+    client.list()?;
 
     for _ in 0..ops {
         let a = rng.below(names.len());
@@ -161,7 +195,9 @@ fn run_client(
         let identical = match op {
             Op::Element => {
                 let idx: Vec<usize> = dims.iter().map(|&d| rng.below(d)).collect();
-                let got = retry_busy(&mut out.busy_retries, || client.element(name, &idx))?;
+                let got = retry_busy(&mut out.busy_retries, &mut out.attempts.element, || {
+                    client.element(name, &idx)
+                })?;
                 let want = reader.element(&idx)?;
                 got.to_bits() == want.to_bits()
             }
@@ -171,7 +207,9 @@ fn run_client(
                     .map(|_| dims.iter().map(|&d| rng.below(d)).collect())
                     .collect();
                 let refs: Vec<&[usize]> = points.iter().map(Vec::as_slice).collect();
-                let got = retry_busy(&mut out.busy_retries, || client.elements(name, &refs))?;
+                let got = retry_busy(&mut out.busy_retries, &mut out.attempts.elements, || {
+                    client.elements(name, &refs)
+                })?;
                 // The documented bit-exact reference for a batch is the
                 // per-point element walk (the eager batch contraction is
                 // only round-off-equivalent, by contract).
@@ -189,7 +227,7 @@ fn run_client(
                         (start, 1 + rng.below(d - start))
                     })
                     .collect();
-                let got = retry_busy(&mut out.busy_retries, || {
+                let got = retry_busy(&mut out.busy_retries, &mut out.attempts.range, || {
                     client.reconstruct_range(name, &ranges)
                 })?;
                 let want = reader.reconstruct_range(&ranges)?;
@@ -198,7 +236,7 @@ fn run_client(
             Op::Slice => {
                 let mode = rng.below(dims.len());
                 let index = rng.below(dims[mode]);
-                let got = retry_busy(&mut out.busy_retries, || {
+                let got = retry_busy(&mut out.busy_retries, &mut out.attempts.slice, || {
                     client.reconstruct_slice(name, mode, index)
                 })?;
                 let want = reader.reconstruct_slice(mode, index)?;
@@ -206,9 +244,11 @@ fn run_client(
             }
             Op::Control => {
                 if rng.next() % 2 == 0 {
+                    out.attempts.stats += 1;
                     let stats = client.stats()?;
                     stats.artifacts.len() == names.len()
                 } else {
+                    out.attempts.list += 1;
                     client.list()?.len() == names.len()
                 }
             }
@@ -221,12 +261,16 @@ fn run_client(
     Ok(out)
 }
 
-/// Retries typed `Busy` backpressure (brief backoff); anything else is final.
+/// Retries typed `Busy` backpressure (brief backoff); anything else is
+/// final. Every call of `f` — busy rejections included — is one wire
+/// request the server observed, so `attempts` counts them all.
 fn retry_busy<T>(
     counter: &mut u64,
+    attempts: &mut u64,
     mut f: impl FnMut() -> Result<T, TuckerError>,
 ) -> Result<T, TuckerError> {
     loop {
+        *attempts += 1;
         match f() {
             Err(TuckerError::Busy { .. }) => {
                 *counter += 1;
@@ -241,12 +285,52 @@ fn bits_equal(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
+/// Nearest-rank percentile: the `ceil(p·n)`-th smallest sample, with `p`
+/// clamped to `[0, 1]` and the rank explicitly clamped to `1..=n` (so
+/// `p = 0` is the minimum and `p = 1` the maximum, never out of bounds);
+/// `ZERO` on an empty sample set. This is the same definition
+/// `tucker_obs::metrics::HistSnapshot::quantile_us` uses, so the daemon
+/// cross-check below compares like with like.
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
     }
-    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    let p = p.clamp(0.0, 1.0);
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Parses one `hist <name> count=N sum_us=S p50=X p99=Y` exposition line,
+/// returning `(count, p50_us, p99_us)`.
+fn parse_hist(exposition: &str, name: &str) -> Option<(u64, u64, u64)> {
+    let prefix = format!("hist {name} ");
+    let line = exposition.lines().find(|l| l.starts_with(&prefix))?;
+    let (mut count, mut p50, mut p99) = (None, None, None);
+    for field in line.split_whitespace().skip(2) {
+        let (key, value) = field.split_once('=')?;
+        let v = value.parse::<u64>().ok()?;
+        match key {
+            "count" => count = Some(v),
+            "p50" => p50 = Some(v),
+            "p99" => p99 = Some(v),
+            _ => {}
+        }
+    }
+    Some((count?, p50?, p99?))
+}
+
+/// Noise floor for the percentile cross-check: below this the loopback
+/// round trip the client measures on top of the server's handle+write
+/// window dominates, and bucket comparison is meaningless.
+const XCHECK_FLOOR_US: u64 = 256;
+
+/// Compares a client-measured percentile against the daemon's histogram
+/// value for the same opcode: both are clamped to the noise floor and must
+/// land within one power-of-two latency bucket of each other.
+fn percentile_agrees(client_us: u64, server_us: u64) -> bool {
+    let cb = tucker_obs::metrics::bucket_index(client_us.max(XCHECK_FLOOR_US));
+    let sb = tucker_obs::metrics::bucket_index(server_us.max(XCHECK_FLOOR_US));
+    cb.abs_diff(sb) <= 1
 }
 
 fn ms(d: Duration) -> String {
@@ -358,6 +442,7 @@ fn main() {
 
     let widths = [12usize, 10, 12, 12];
     print_header(&["op", "count", "p50 (ms)", "p99 (ms)"], &widths);
+    let mut per_op: Vec<(Op, Vec<Duration>)> = Vec::new();
     for op in [Op::Element, Op::Elements, Op::Range, Op::Slice, Op::Control] {
         let mut lat: Vec<Duration> = outcomes
             .iter()
@@ -375,6 +460,7 @@ fn main() {
             ],
             &widths,
         );
+        per_op.push((op, lat));
     }
     let mut all: Vec<Duration> = outcomes
         .iter()
@@ -390,8 +476,12 @@ fn main() {
         ms(percentile(&all, 0.99)),
     );
 
-    // Server-side accounting, then a drained shutdown.
-    let mut probe = ServeClient::connect(addr).expect("stats probe connects");
+    // Server-side accounting, then a drained shutdown. The metrics scrape
+    // comes first so the daemon's per-opcode histograms are compared
+    // against exactly the load-generation traffic (the stats probe below
+    // would otherwise land in `serve.op.stats.us` before the render).
+    let mut probe = ServeClient::connect(addr).expect("metrics probe connects");
+    let exposition = probe.metrics().expect("metrics probe answers");
     let stats = probe.stats().expect("stats probe answers");
     drop(probe);
     let stats_at_close = handle.shutdown();
@@ -410,6 +500,92 @@ fn main() {
         std::fs::remove_file(p).ok();
     }
 
+    // Cross-check the harness's own latency accounting against the daemon's
+    // per-opcode histograms: request counts must match *exactly* (both
+    // sides count every decoded wire request, busy rejections included),
+    // and p50/p99 must land within one power-of-two bucket once above the
+    // loopback noise floor.
+    let mut attempts = WireAttempts::default();
+    for o in &outcomes {
+        attempts.add(&o.attempts);
+    }
+    let mut xcheck_failures = 0u64;
+    println!("\ncross-check: client accounting vs daemon per-opcode histograms");
+    let count_checks = [
+        ("serve.op.element.us", attempts.element),
+        ("serve.op.elements.us", attempts.elements),
+        ("serve.op.range.us", attempts.range),
+        ("serve.op.slice.us", attempts.slice),
+        ("serve.op.stats.us", attempts.stats),
+        ("serve.op.list.us", attempts.list),
+    ];
+    for (name, want) in count_checks {
+        match parse_hist(&exposition, name) {
+            Some((count, _, _)) if count == want => {
+                println!("  {name:<24} count={count} matches client attempts exactly");
+            }
+            Some((count, _, _)) => {
+                eprintln!("  {name:<24} count={count} != client attempts {want}");
+                xcheck_failures += 1;
+            }
+            // A histogram nobody observed is never registered — only an
+            // error if the client actually sent such requests.
+            None if want == 0 => {}
+            None => {
+                eprintln!("  {name:<24} missing from the exposition ({want} attempts)");
+                xcheck_failures += 1;
+            }
+        }
+    }
+    let pct_checks = [
+        (Op::Element, "serve.op.element.us", attempts.element),
+        (Op::Elements, "serve.op.elements.us", attempts.elements),
+        (Op::Range, "serve.op.range.us", attempts.range),
+        (Op::Slice, "serve.op.slice.us", attempts.slice),
+    ];
+    for (op, name, att) in pct_checks {
+        let Some(lat) = per_op.iter().find(|(o, _)| *o == op).map(|(_, l)| l) else {
+            continue;
+        };
+        // Skip under-sampled ops, and ops where busy retries put fast
+        // rejection observations into the server distribution that the
+        // client's per-success timings cannot contain.
+        if lat.len() < 10 || att != lat.len() as u64 {
+            continue;
+        }
+        let Some((_, sp50, sp99)) = parse_hist(&exposition, name) else {
+            continue;
+        };
+        let cp50 = percentile(lat, 0.50).as_micros() as u64;
+        let cp90 = percentile(lat, 0.90).as_micros() as u64;
+        let cp99 = percentile(lat, 0.99).as_micros() as u64;
+        // The p99 comparison is only meaningful when the client's own tail
+        // is stable at bucket granularity (p99 within one power-of-two
+        // bucket of p90). Otherwise the p99 sample — with ~100 samples it
+        // is the largest one or two — is an isolated client-thread
+        // deschedule the server-side window never contains (this harness
+        // runs clients, sessions, and workers time-sliced on the same
+        // machine), and the daemon cannot be expected to reproduce it.
+        let tail_trusted = cp99 <= cp90.saturating_mul(2).max(XCHECK_FLOOR_US);
+        let mut checks = vec![("p50", cp50, sp50)];
+        if tail_trusted {
+            checks.push(("p99", cp99, sp99));
+        } else {
+            println!(
+                "  {name:<24} p99 client {cp99}us is an isolated scheduling spike \
+                 (client p90 {cp90}us); skipping the tail comparison"
+            );
+        }
+        for (which, c, s) in checks {
+            if percentile_agrees(c, s) {
+                println!("  {name:<24} {which} client {c}us ~ daemon {s}us (within one bucket)");
+            } else {
+                eprintln!("  {name:<24} {which} client {c}us vs daemon {s}us: beyond one bucket");
+                xcheck_failures += 1;
+            }
+        }
+    }
+
     let client_failures = failures.load(Ordering::Relaxed);
     let mut failed = false;
     if client_failures > 0 {
@@ -426,6 +602,13 @@ fn main() {
     if resident > budget as u64 {
         eprintln!(
             "table6_service: FAILED — {resident} resident chunks exceed the shared budget {budget}"
+        );
+        failed = true;
+    }
+    if xcheck_failures > 0 {
+        eprintln!(
+            "table6_service: FAILED — {xcheck_failures} metrics cross-check(s) disagreed \
+             with the daemon's histograms"
         );
         failed = true;
     }

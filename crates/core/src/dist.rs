@@ -486,6 +486,12 @@ pub fn dist_st_hosvd_ctx(
     ctx: &ExecContext,
 ) -> DistSthosvdResult {
     let nmodes = x.global_dims().len();
+    let _span = tucker_obs::span!(
+        "dist_st_hosvd",
+        nmodes = nmodes,
+        ranks = comm.size(),
+        thread_budget = ctx.threads(),
+    );
     let norm_x_sq = x.global_norm_sq(comm);
 
     let order = opts.order.resolve(
@@ -502,13 +508,22 @@ pub fn dist_st_hosvd_ctx(
     timings.thread_budget = ctx.threads();
 
     for &n in &order {
-        let t0 = Instant::now();
-        let s_block = parallel_gram_ctx(comm, &y, n, ctx);
-        timings.gram[n] += t0.elapsed().as_secs_f64();
+        let _mode_span = tucker_obs::span!("dist_st_hosvd.mode", mode = n);
+        let s_block = {
+            let _k = tucker_obs::span!("dist.gram", mode = n);
+            let t0 = Instant::now();
+            let s_block = parallel_gram_ctx(comm, &y, n, ctx);
+            timings.gram[n] += t0.elapsed().as_secs_f64();
+            s_block
+        };
 
-        let t0 = Instant::now();
-        let eig = parallel_evecs(comm, &y, n, &s_block);
-        timings.evecs[n] += t0.elapsed().as_secs_f64();
+        let eig = {
+            let _k = tucker_obs::span!("dist.evecs", mode = n);
+            let t0 = Instant::now();
+            let eig = parallel_evecs(comm, &y, n, &s_block);
+            timings.evecs[n] += t0.elapsed().as_secs_f64();
+            eig
+        };
 
         let r = opts.rank.select(n, &eig.values, norm_x_sq, nmodes);
         let u = eig.leading_vectors(r);
@@ -516,9 +531,12 @@ pub fn dist_st_hosvd_ctx(
         mode_eigenvalues[n] = eig.values;
         ranks[n] = r;
 
-        let t0 = Instant::now();
-        y = parallel_ttm_ctx(comm, &y, &u, n, TtmTranspose::Transpose, ctx);
-        timings.ttm[n] += t0.elapsed().as_secs_f64();
+        {
+            let _k = tucker_obs::span!("dist.ttm", mode = n);
+            let t0 = Instant::now();
+            y = parallel_ttm_ctx(comm, &y, &u, n, TtmTranspose::Transpose, ctx);
+            timings.ttm[n] += t0.elapsed().as_secs_f64();
+        }
 
         factors[n] = Some(u);
     }
@@ -612,6 +630,12 @@ pub fn dist_hooi_ctx(
     ctx: &ExecContext,
 ) -> DistHooiResult {
     let nmodes = x.global_dims().len();
+    let _span = tucker_obs::span!(
+        "dist_hooi",
+        nmodes = nmodes,
+        ranks = comm.size(),
+        thread_budget = ctx.threads(),
+    );
     let norm_x_sq = x.global_norm_sq(comm);
 
     let init = dist_st_hosvd_ctx(comm, x, &opts.init, ctx);
@@ -622,6 +646,7 @@ pub fn dist_hooi_ctx(
 
     let mut iterations = 0;
     for _ in 0..opts.max_iterations {
+        let _iter_span = tucker_obs::span!("dist_hooi.iteration", iteration = iterations);
         for n in 0..nmodes {
             // Y = X ×_{m≠n} U⁽ᵐ⁾ᵀ, applied in natural order (as the
             // sequential multi_ttm does).

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use tucker_exec::{ExecContext, Workspace};
 use tucker_linalg::eig::sym_eig_desc;
 use tucker_linalg::Matrix;
+use tucker_obs::metrics::Counter;
 use tucker_tensor::{gram_ctx, ttm_ctx, ttm_into_ctx, DenseTensor, TtmTranspose};
 
 /// Options controlling HOOI.
@@ -117,9 +118,14 @@ pub fn try_hooi_ctx(
     Ok(hooi_unchecked(x, opts, ctx))
 }
 
+/// Outer HOOI iterations actually executed (convergence may stop early);
+/// see `tucker-obs` — driver-level counterpart of the kernel flop counters.
+static HOOI_ITERATIONS: Counter = Counter::new("core.hooi.iterations");
+
 /// The Alg. 2 kernel itself; inputs have been validated.
 fn hooi_unchecked(x: &DenseTensor, opts: &HooiOptions, ctx: &ExecContext) -> HooiResult {
     let nmodes = x.ndims();
+    let _span = tucker_obs::span!("hooi", nmodes = nmodes, threads = ctx.threads());
     let norm_x_sq = x.norm_sq();
 
     // Line 2: initialize with ST-HOSVD; the ranks are frozen afterwards.
@@ -132,6 +138,8 @@ fn hooi_unchecked(x: &DenseTensor, opts: &HooiOptions, ctx: &ExecContext) -> Hoo
 
     let mut iterations = 0;
     for _ in 0..opts.max_iterations {
+        let _iter_span = tucker_obs::span!("hooi.iteration", iteration = iterations);
+        HOOI_ITERATIONS.inc();
         // Lines 4–8: update each factor in turn.
         for n in 0..nmodes {
             // Y = X ×_{m≠n} U⁽ᵐ⁾ᵀ, applied in natural order through

@@ -13,7 +13,11 @@ use crate::validate::{self, CoreError};
 use serde::{Deserialize, Serialize};
 use tucker_exec::ExecContext;
 use tucker_linalg::eig::sym_eig_desc;
+use tucker_obs::metrics::Counter;
 use tucker_tensor::{gram_ctx, ttm_ctx, DenseTensor, TtmTranspose};
+
+/// Completed in-memory ST-HOSVD decompositions (see `tucker-obs`).
+static ST_HOSVD_RUNS: Counter = Counter::new("core.st_hosvd.runs");
 
 /// Options controlling ST-HOSVD.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -126,6 +130,8 @@ pub fn try_st_hosvd_ctx(
 /// The Alg. 1 kernel itself; inputs have been validated.
 fn st_hosvd_unchecked(x: &DenseTensor, opts: &SthosvdOptions, ctx: &ExecContext) -> SthosvdResult {
     let nmodes = x.ndims();
+    let _span = tucker_obs::span!("st_hosvd", nmodes = nmodes, threads = ctx.threads());
+    ST_HOSVD_RUNS.inc();
     let norm_x_sq = x.norm_sq();
 
     // Resolve the processing order (greedy strategies consume the shared
@@ -141,6 +147,7 @@ fn st_hosvd_unchecked(x: &DenseTensor, opts: &SthosvdOptions, ctx: &ExecContext)
     let mut discarded_energy = 0.0;
 
     for &n in &order {
+        let _mode_span = tucker_obs::span!("st_hosvd.mode", mode = n);
         // Gram matrix of the current tensor's mode-n unfolding.
         let s = gram_ctx(ctx, &y, n);
         let eig = sym_eig_desc(&s);

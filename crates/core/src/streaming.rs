@@ -138,6 +138,12 @@ fn st_hosvd_streaming_unchecked(
 ) -> SthosvdResult {
     let dims = src.dims().to_vec();
     let nmodes = dims.len();
+    let _span = tucker_obs::span!(
+        "st_hosvd_streaming",
+        nmodes = nmodes,
+        slab_width = stream.slab_width.max(1),
+        threads = ctx.threads(),
+    );
     assert!(
         nmodes >= 2,
         "st_hosvd_streaming: need at least 2 modes (got {nmodes})"
@@ -173,6 +179,7 @@ fn st_hosvd_streaming_unchecked(
     // element by element in storage order (identical to `norm_sq` on the
     // materialized tensor, which rank selection depends on).
     for (step, &n) in order[..nmodes - 1].iter().enumerate() {
+        let _sweep_span = tucker_obs::span!("streaming.sweep", mode = n, step = step);
         let mut s = Matrix::zeros(dims[n], dims[n]);
         let mut start = 0usize;
         while start < last_dim {
@@ -203,6 +210,7 @@ fn st_hosvd_streaming_unchecked(
 
     // Phase 2: final sweep — shrink each slab through every non-streaming
     // factor and write it straight into the resident truncated tensor.
+    let _phase2_span = tucker_obs::span!("streaming.assemble", mode = last);
     let mut trunc_dims = ranks.clone();
     trunc_dims[last] = last_dim;
     let mut y = DenseTensor::zeros(&trunc_dims);

@@ -9,6 +9,17 @@
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use tucker_obs::metrics::Counter;
+
+/// Process-wide mirrors of the per-rank counters (see `tucker-obs`): every
+/// `record_*` also bumps these, so the global metrics registry sees the sum
+/// over all simulated ranks without touching the per-rank `StatsSnapshot`
+/// accounting the α-β-γ tests pin.
+static MESSAGES_SENT: Counter = Counter::new("distmem.messages_sent");
+static WORDS_SENT: Counter = Counter::new("distmem.words_sent");
+static MESSAGES_RECEIVED: Counter = Counter::new("distmem.messages_received");
+static WORDS_RECEIVED: Counter = Counter::new("distmem.words_received");
+static COLLECTIVE_CALLS: Counter = Counter::new("distmem.collectives");
 
 /// Mutable, thread-safe communication counters for one rank.
 #[derive(Debug, Default)]
@@ -45,6 +56,8 @@ impl CommStats {
     pub fn record_send(&self, words: usize) {
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
         self.words_sent.fetch_add(words as u64, Ordering::Relaxed);
+        MESSAGES_SENT.inc();
+        WORDS_SENT.add(words as u64);
     }
 
     /// Records a received message of `words` `f64` words.
@@ -52,11 +65,14 @@ impl CommStats {
         self.messages_received.fetch_add(1, Ordering::Relaxed);
         self.words_received
             .fetch_add(words as u64, Ordering::Relaxed);
+        MESSAGES_RECEIVED.inc();
+        WORDS_RECEIVED.add(words as u64);
     }
 
     /// Records participation in one collective operation.
     pub fn record_collective(&self) {
         self.collective_calls.fetch_add(1, Ordering::Relaxed);
+        COLLECTIVE_CALLS.inc();
     }
 
     /// Resets all counters to zero.

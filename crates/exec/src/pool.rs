@@ -32,6 +32,17 @@ use std::any::Any;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+use tucker_obs::metrics::{Counter, Gauge};
+
+/// Pool-level observability (all relaxed atomics; see `tucker-obs`).
+/// Scatter counts, queued-but-unstarted jobs, and cumulative worker
+/// busy/idle wall time — enough to read pool utilization off the registry.
+static SCATTER_CALLS: Counter = Counter::new("exec.scatter.calls");
+static SCATTER_JOBS: Counter = Counter::new("exec.scatter.jobs");
+static QUEUE_DEPTH: Gauge = Gauge::new("exec.queue.depth");
+static WORKER_BUSY_NS: Counter = Counter::new("exec.worker.busy_ns");
+static WORKER_IDLE_NS: Counter = Counter::new("exec.worker.idle_ns");
 
 /// A job after lifetime erasure (see module docs for why this is sound).
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -68,14 +79,18 @@ fn spawn_workers(workers: usize) -> Sender<Job> {
             .name(format!("tucker-exec-{i}"))
             .spawn(move || loop {
                 // Hold the lock only for the dequeue; run the job unlocked.
+                let idle_from = Instant::now();
                 let job = {
                     let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
                     guard.recv()
                 };
                 match job {
                     Ok(job) => {
+                        WORKER_IDLE_NS.add(idle_from.elapsed().as_nanos() as u64);
                         IN_WORKER.with(|f| f.set(true));
+                        let busy_from = Instant::now();
                         job();
+                        WORKER_BUSY_NS.add(busy_from.elapsed().as_nanos() as u64);
                         IN_WORKER.with(|f| f.set(false));
                     }
                     // All senders dropped: the owning contexts are gone.
@@ -195,6 +210,8 @@ impl ExecContext {
         let pool = self.pool.as_ref().expect("checked above");
         let first = jobs.remove(0);
         let sent = jobs.len();
+        SCATTER_CALLS.inc();
+        SCATTER_JOBS.add(sent as u64 + 1);
         let (done_tx, done_rx) = unbounded::<Result<(), Box<dyn Any + Send>>>();
         {
             let submit = pool.submit.lock().unwrap_or_else(|e| e.into_inner());
@@ -205,8 +222,10 @@ impl ExecContext {
                 let job: Job =
                     unsafe { std::mem::transmute::<ScopedJob<'a>, ScopedJob<'static>>(job) };
                 let tx = done_tx.clone();
+                QUEUE_DEPTH.inc();
                 submit
                     .send(Box::new(move || {
+                        QUEUE_DEPTH.dec();
                         let result = catch_unwind(AssertUnwindSafe(job));
                         // The receiver outlives every job (we drain below),
                         // so a send failure means the scatter already died.

@@ -16,6 +16,13 @@
 
 use crate::matrix::Matrix;
 use tucker_exec::ExecContext;
+use tucker_obs::metrics::Counter;
+
+/// Kernel accounting: invocations of the sequential kernel (pool panels
+/// count individually) and total multiply-add flops (2·m·n·k per product),
+/// comparable against the `CostModel` flop predictions.
+static GEMM_CALLS: Counter = Counter::new("linalg.gemm.calls");
+static GEMM_FLOPS: Counter = Counter::new("linalg.gemm.flops");
 
 /// Transpose option for a GEMM operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +112,8 @@ pub fn gemm_slices(
     if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
         return;
     }
+    GEMM_CALLS.inc();
+    GEMM_FLOPS.add(2 * (m as u64) * (n as u64) * (k as u64));
 
     // Packed blocked loop: pack a KC×NC panel of op(B) and an MC×KC panel of
     // op(A), then run a straightforward register-friendly inner kernel. The
@@ -251,6 +260,13 @@ pub fn gemm_slices_ctx(
     assert_eq!(ka, kb, "gemm: inner dimension mismatch ({ka} vs {kb})");
     let k = ka;
     let work = m.saturating_mul(n).saturating_mul(k);
+    // Only trace pool-worthy products; the fused TTM interior calls the
+    // sequential kernel directly, so tiny GEMMs never flood the trace.
+    let _span = if work >= PAR_MIN_WORK {
+        Some(tucker_obs::span!("gemm", m = m, n = n, k = k))
+    } else {
+        None
+    };
     let parts = ctx.partition_for_work(m, work);
     if parts <= 1 {
         gemm_slices(

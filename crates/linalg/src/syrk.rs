@@ -8,6 +8,19 @@
 use crate::matrix::Matrix;
 use std::ops::Range;
 use tucker_exec::{triangle_row_chunks, ExecContext};
+use tucker_obs::metrics::Counter;
+
+/// Kernel accounting (see `tucker-obs`): calls count sequential-kernel and
+/// row-panel invocations; flops count the lower-triangle multiply-adds,
+/// `2k · Σ(i+1) = m(m+1)k` for a full `m × m` update.
+static SYRK_CALLS: Counter = Counter::new("linalg.syrk.calls");
+static SYRK_FLOPS: Counter = Counter::new("linalg.syrk.flops");
+
+/// Lower-triangle flop count of rows `0..n` of an `A·Aᵀ` with inner
+/// dimension `k`: `2k` flops per dot, `n(n+1)/2` dots.
+fn triangle_flops(n: usize, k: usize) -> u64 {
+    (n as u64) * (n as u64 + 1) * (k as u64)
+}
 
 /// Computes `A · Aᵀ` for a row-major `m × k` slice `a` with leading dimension
 /// `lda`, accumulating into the row-major `m × m` slice `c` (leading dimension
@@ -45,6 +58,8 @@ pub fn syrk_slices(
         // Still must be symmetric; the scaled C is assumed symmetric already.
         return;
     }
+    SYRK_CALLS.inc();
+    SYRK_FLOPS.add(triangle_flops(m, k));
     // Lower triangle: c[i][j] += alpha * dot(a_row_i, a_row_j) for j <= i.
     // Block over i to keep a_row_i hot.
     const BLK: usize = 32;
@@ -118,6 +133,8 @@ pub fn syrk_rows_slices(
     if rows.is_empty() {
         return;
     }
+    SYRK_CALLS.inc();
+    SYRK_FLOPS.add(triangle_flops(rows.end, k) - triangle_flops(rows.start, k));
     assert!(
         a.len() >= (rows.end - 1) * lda + k,
         "syrk_rows: A slice too short"
@@ -166,6 +183,7 @@ pub fn triangular_scatter_mirror<F>(
 pub fn syrk_ctx(ctx: &ExecContext, a: &Matrix) -> Matrix {
     let m = a.rows();
     let k = a.cols();
+    let _span = tucker_obs::span!("syrk", m = m, k = k);
     let mut c = Matrix::zeros(m, m);
     let parts = ctx.partition_for_work(m, m * m * k / 2);
     if parts <= 1 {

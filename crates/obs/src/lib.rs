@@ -1,0 +1,53 @@
+//! `tucker-obs` — the workspace-wide observability layer.
+//!
+//! Every other crate of the workspace measures itself through this one:
+//! kernel flop counters and scatter statistics, the shared-cache hit/miss
+//! accounting, the daemon's per-opcode latency histograms, and the span
+//! traces behind the fig8/fig9 timing plots. The crate has **zero
+//! dependencies** (std only) so it can sit below `tucker-exec` at the very
+//! bottom of the crate graph.
+//!
+//! Two independent facilities:
+//!
+//! * [`metrics`] — a process-wide registry of atomic [`Counter`]s,
+//!   [`Gauge`]s, and fixed-bucket latency [`Histogram`]s. Handles are
+//!   `const`-constructible statics; the first touch registers the metric,
+//!   every later touch is one relaxed atomic operation. Setting
+//!   `TUCKER_METRICS=0` turns every recording call into a branch on a
+//!   cached flag — no allocation, no registration, no atomics.
+//!   [`metrics::render`] produces the line-oriented text exposition served
+//!   by the `tucker-serve` `metrics` opcode.
+//! * [`trace`] — structured span tracing. [`span!`] opens a named scope
+//!   whose start/end timestamps are written on drop to the sink configured
+//!   by `TUCKER_TRACE=<path>` (chrome-trace JSON when the path ends in
+//!   `.json`, plain JSON-lines otherwise). With no sink installed a span
+//!   is a single atomic load.
+//!
+//! **Determinism contract:** nothing in this crate feeds back into
+//! computation — recording reads clocks and bumps atomics, never values —
+//! so every compression/query output is bit-identical with metrics and
+//! tracing on, off, or redirected (pinned by `tests/obs.rs`).
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use trace::SpanGuard;
+
+/// Opens a traced span: `span!("name")` or `span!("ttm", mode = n, k = r)`.
+///
+/// Returns a [`SpanGuard`] that records the span on drop; bind it to a
+/// variable (`let _span = ...`) so it lives to the end of the scope.
+/// Argument values are captured as `i64`. When no trace sink is active the
+/// expansion costs one atomic load and captures nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(,)?) => {
+        $crate::trace::span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::trace::span_args($name, &[$((stringify!($key), ($value) as i64)),+])
+    };
+}

@@ -1,0 +1,295 @@
+//! Structured span tracing with chrome-trace / JSON-lines export.
+//!
+//! # Lifecycle
+//!
+//! A span is opened with [`crate::span!`] (or [`span`]/[`span_args`]) and
+//! closed when the returned [`SpanGuard`] drops; the drop writes one
+//! complete event — name, integer arguments, start timestamp, duration,
+//! thread id — to the installed sink. Nesting needs no bookkeeping: the
+//! chrome trace viewer reconstructs the stack from event containment per
+//! thread.
+//!
+//! # Sink
+//!
+//! The sink is installed either explicitly with [`install`] or lazily from
+//! the `TUCKER_TRACE=<path>` environment variable on the first span. A
+//! path ending in `.json` selects the chrome-trace array format (load it
+//! at `chrome://tracing` or <https://ui.perfetto.dev>); any other path gets
+//! plain JSON-lines with the same event objects. Writes are buffered; call
+//! [`flush`] (or [`uninstall`], which also closes the JSON array) before
+//! reading the file.
+//!
+//! With no sink active, opening a span costs one atomic load and records
+//! nothing — and recording never feeds back into computation, so traced
+//! and untraced runs produce bit-identical results.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Fast-path flag: true while a sink is installed.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+struct Sink {
+    out: Mutex<BufWriter<File>>,
+    chrome: bool,
+    epoch: Instant,
+}
+
+fn sink_slot() -> &'static Mutex<Option<Arc<Sink>>> {
+    static SINK: OnceLock<Mutex<Option<Arc<Sink>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_sink() -> std::sync::MutexGuard<'static, Option<Arc<Sink>>> {
+    sink_slot().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One-time lazy initialization from `TUCKER_TRACE`.
+fn env_init() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        if let Ok(path) = std::env::var("TUCKER_TRACE") {
+            if !path.is_empty() && install(&path).is_err() {
+                eprintln!("tucker-obs: cannot open TUCKER_TRACE={path}; tracing disabled");
+            }
+        }
+    });
+}
+
+/// Whether a trace sink is currently installed.
+pub fn active() -> bool {
+    env_init();
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Installs a trace sink writing to `path`, replacing any previous sink
+/// (the previous one is flushed and closed). Chrome-trace array format
+/// when `path` ends in `.json`, JSON-lines otherwise.
+pub fn install(path: &str) -> std::io::Result<()> {
+    let chrome = path.ends_with(".json");
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    if chrome {
+        let _ = writer.write_all(b"[\n");
+    }
+    let sink = Arc::new(Sink {
+        out: Mutex::new(writer),
+        chrome,
+        epoch: Instant::now(),
+    });
+    let previous = {
+        let mut slot = lock_sink();
+        let previous = slot.take();
+        *slot = Some(sink);
+        ACTIVE.store(true, Ordering::Relaxed);
+        previous
+    };
+    if let Some(prev) = previous {
+        close_sink(&prev);
+    }
+    Ok(())
+}
+
+/// Removes the active sink (if any), flushing it and — for chrome-trace
+/// output — terminating the JSON array so the file is strictly valid.
+pub fn uninstall() {
+    let previous = {
+        let mut slot = lock_sink();
+        ACTIVE.store(false, Ordering::Relaxed);
+        slot.take()
+    };
+    if let Some(prev) = previous {
+        close_sink(&prev);
+    }
+}
+
+/// Flushes buffered events to the trace file without closing the sink.
+pub fn flush() {
+    let sink = lock_sink().clone();
+    if let Some(sink) = sink {
+        let mut out = sink.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = out.flush();
+    }
+}
+
+fn close_sink(sink: &Arc<Sink>) {
+    let mut out = sink.out.lock().unwrap_or_else(|e| e.into_inner());
+    if sink.chrome {
+        // Every event line ends with a comma; an empty object closes the
+        // array as strictly valid JSON.
+        let _ = out.write_all(b"{}\n]\n");
+    }
+    let _ = out.flush();
+}
+
+/// Small dense per-process thread ids (chrome's `tid` field).
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+    TID.try_with(|cell| {
+        if cell.get() == 0 {
+            cell.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        cell.get()
+    })
+    .unwrap_or(0)
+}
+
+/// Live state of an open span (absent when tracing is inactive).
+struct SpanData {
+    sink: Arc<Sink>,
+    name: &'static str,
+    args: Vec<(&'static str, i64)>,
+    start: Instant,
+}
+
+/// Guard returned by [`span`]/[`span_args`]; records the span on drop.
+pub struct SpanGuard {
+    data: Option<SpanData>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(data) = self.data.take() {
+            let end = Instant::now();
+            // Timestamps are µs since sink installation (saturating for
+            // spans opened before a reinstall).
+            let ts = data.start.duration_since(data.sink.epoch).as_nanos() as f64 / 1000.0;
+            let dur = end.duration_since(data.start).as_nanos() as f64 / 1000.0;
+            let mut line = String::with_capacity(96);
+            let _ = write!(
+                line,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":1,\"tid\":{}",
+                data.name,
+                thread_id()
+            );
+            if !data.args.is_empty() {
+                let _ = write!(line, ",\"args\":{{");
+                for (i, (key, value)) in data.args.iter().enumerate() {
+                    let sep = if i == 0 { "" } else { "," };
+                    let _ = write!(line, "{sep}\"{key}\":{value}");
+                }
+                let _ = write!(line, "}}");
+            }
+            let _ = write!(line, "}}");
+            let mut out = data.sink.out.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.write_all(if data.sink.chrome { b",\n" } else { b"\n" });
+        }
+    }
+}
+
+/// Opens an argument-less span (see [`crate::span!`]).
+pub fn span(name: &'static str) -> SpanGuard {
+    span_args(name, &[])
+}
+
+/// Opens a span with integer arguments. `name` and keys must be plain
+/// identifiers (they are emitted into JSON unescaped).
+pub fn span_args(name: &'static str, args: &[(&'static str, i64)]) -> SpanGuard {
+    if !active() {
+        return SpanGuard { data: None };
+    }
+    let sink = lock_sink().clone();
+    match sink {
+        Some(sink) => SpanGuard {
+            data: Some(SpanData {
+                sink,
+                name,
+                args: args.to_vec(),
+                start: Instant::now(),
+            }),
+        },
+        None => SpanGuard { data: None },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Serializes tests that install/uninstall the global sink.
+    fn sink_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: StdMutex<()> = StdMutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tucker_obs_trace_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn inactive_spans_record_nothing_and_cost_nothing_visible() {
+        let _g = sink_guard();
+        uninstall();
+        let guard = crate::span!("noop", mode = 3);
+        drop(guard);
+        assert!(!ACTIVE.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_event_per_span() {
+        let _g = sink_guard();
+        let path = temp_path("jsonl.trace");
+        install(path.to_str().unwrap()).unwrap();
+        {
+            let _outer = crate::span!("outer", mode = 2, rank = 5);
+            let _inner = crate::span!("inner");
+        }
+        uninstall();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "two spans → two JSONL events: {text}");
+        // Inner drops first.
+        assert!(lines[0].contains("\"name\":\"inner\""));
+        assert!(lines[1].contains("\"name\":\"outer\""));
+        assert!(lines[1].contains("\"args\":{\"mode\":2,\"rank\":5}"));
+        assert!(lines[1].contains("\"ph\":\"X\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chrome_sink_emits_a_valid_json_array() {
+        let _g = sink_guard();
+        let path = temp_path("chrome.json");
+        install(path.to_str().unwrap()).unwrap();
+        {
+            let _span = crate::span!("ttm", mode = 1);
+        }
+        uninstall();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"name\":\"ttm\""));
+        // Strict validity: balanced brackets and a parseable shape — every
+        // event line ends in a comma and the array closes with `{}`.
+        assert!(text.contains("{}\n]"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reinstall_flushes_previous_sink() {
+        let _g = sink_guard();
+        let first = temp_path("first.trace");
+        let second = temp_path("second.trace");
+        install(first.to_str().unwrap()).unwrap();
+        drop(crate::span!("one"));
+        install(second.to_str().unwrap()).unwrap();
+        drop(crate::span!("two"));
+        uninstall();
+        let first_text = std::fs::read_to_string(&first).unwrap();
+        let second_text = std::fs::read_to_string(&second).unwrap();
+        assert!(first_text.contains("\"name\":\"one\""));
+        assert!(!first_text.contains("\"name\":\"two\""));
+        assert!(second_text.contains("\"name\":\"two\""));
+        std::fs::remove_file(&first).ok();
+        std::fs::remove_file(&second).ok();
+    }
+}

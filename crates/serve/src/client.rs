@@ -81,6 +81,16 @@ impl ServeClient {
         }
     }
 
+    /// The daemon's whole `tucker-obs` metrics registry as a text
+    /// exposition: one `counter`/`gauge`/`hist` line per instrument
+    /// (sorted by name), followed by per-artifact cache gauges.
+    pub fn metrics(&mut self) -> Result<String, TuckerError> {
+        match self.rpc(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Reconstructs the window given by one `(start, len)` pair per mode.
     pub fn reconstruct_range(
         &mut self,
@@ -217,6 +227,7 @@ fn unexpected(resp: &Response) -> TuckerError {
         Response::Scalar(_) => "scalar",
         Response::Vector(_) => "vector",
         Response::Stats(_) => "stats",
+        Response::Metrics(_) => "metrics",
         Response::Err { .. } => "error",
     };
     TuckerError::Protocol(ProtocolError::Malformed(format!(

@@ -28,6 +28,12 @@
 //!   maps wire errors back onto the [`TuckerError`](tucker_api::TuckerError)
 //!   hierarchy so remote callers handle exactly the errors local callers
 //!   do.
+//! - [`metrics`] — the daemon's instruments in the process-wide
+//!   `tucker-obs` registry: a latency histogram per opcode, service-total
+//!   mirrors, and the in-flight gauge. The `metrics` opcode (and
+//!   [`ServeClient::metrics`]) scrapes the whole registry as a text
+//!   exposition, so a live daemon's kernel counters, cache accounting, and
+//!   per-opcode latency quantiles are one request away.
 //!
 //! # Quickstart
 //!
@@ -61,6 +67,7 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 

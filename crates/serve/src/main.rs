@@ -6,10 +6,14 @@
 //! tucker-serve open    127.0.0.1:7421 wave
 //! tucker-serve element 127.0.0.1:7421 wave 3 1 4
 //! tucker-serve stats   127.0.0.1:7421
+//! tucker-serve metrics 127.0.0.1:7421
 //! ```
 //!
 //! The daemon runs until the process is killed; stats print per-artifact
-//! shared-cache accounting (decoded chunks, hits, resident).
+//! shared-cache accounting (decoded chunks, hits, resident), and metrics
+//! dump the daemon's whole `tucker-obs` registry — kernel counters, cache
+//! roll-ups, and per-opcode latency quantiles — as text, one instrument
+//! per line.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -64,6 +68,10 @@ fn main() -> ExitCode {
             }
             Ok(())
         }),
+        Some("metrics") => with_client(&args[1..], 0, |client, _| {
+            print!("{}", client.metrics().map_err(err)?);
+            Ok(())
+        }),
         _ => {
             usage();
             return ExitCode::from(2);
@@ -86,7 +94,8 @@ fn usage() {
     eprintln!(
         "usage:\n  tucker-serve serve --listen ADDR NAME=PATH [NAME=PATH ...]\n  \
          tucker-serve list ADDR\n  tucker-serve open ADDR NAME\n  \
-         tucker-serve element ADDR NAME I J K ...\n  tucker-serve stats ADDR"
+         tucker-serve element ADDR NAME I J K ...\n  tucker-serve stats ADDR\n  \
+         tucker-serve metrics ADDR"
     );
 }
 

@@ -38,6 +38,9 @@ pub const MAX_MODES: usize = 64;
 pub const MAX_POINTS: usize = 8192;
 /// Cap on a diagnostic message's UTF-8 byte length.
 pub const MAX_MESSAGE_BYTES: usize = 4096;
+/// Cap on a metrics exposition's UTF-8 byte length (a registry of thousands
+/// of instruments stays far below this).
+pub const MAX_METRICS_BYTES: usize = 1 << 20;
 
 /// Request opcode: open (or re-validate) an artifact, returning its header
 /// summary.
@@ -54,6 +57,8 @@ pub const OP_ELEMENT: u8 = 0x05;
 pub const OP_ELEMENTS: u8 = 0x06;
 /// Request opcode: service and per-artifact cache statistics.
 pub const OP_STATS: u8 = 0x07;
+/// Request opcode: the process-wide metrics registry as a text exposition.
+pub const OP_METRICS: u8 = 0x08;
 
 /// Response opcode: header summary of an opened artifact.
 pub const RESP_OPEN: u8 = 0x81;
@@ -67,6 +72,8 @@ pub const RESP_SCALAR: u8 = 0x84;
 pub const RESP_VECTOR: u8 = 0x85;
 /// Response opcode: service statistics.
 pub const RESP_STATS: u8 = 0x86;
+/// Response opcode: a metrics text exposition.
+pub const RESP_METRICS: u8 = 0x87;
 /// Response opcode: a typed error.
 pub const RESP_ERR: u8 = 0xEE;
 
@@ -133,6 +140,8 @@ pub enum Request {
     },
     /// Service and per-artifact cache statistics.
     Stats,
+    /// The process-wide metrics registry as a text exposition.
+    Metrics,
 }
 
 /// The header summary a successful `Open` carries.
@@ -212,6 +221,10 @@ pub enum Response {
     Vector(Vec<f64>),
     /// Service statistics.
     Stats(ServeStats),
+    /// The metrics registry rendered as one `kind name fields` line per
+    /// instrument (see `tucker_obs::metrics::render`), plus the server's
+    /// per-artifact cache gauges.
+    Metrics(String),
     /// A typed error.
     Err {
         /// One of the `ERR_*` codes.
@@ -408,6 +421,7 @@ impl Request {
                 e.u64s(points);
             }
             Request::Stats => e.u8(OP_STATS),
+            Request::Metrics => e.u8(OP_METRICS),
         }
         e.out
     }
@@ -460,6 +474,7 @@ impl Request {
                 }
             }
             OP_STATS => Request::Stats,
+            OP_METRICS => Request::Metrics,
             other => return Err(ProtocolError::UnknownOpcode(other)),
         };
         d.finish()?;
@@ -519,6 +534,10 @@ impl Response {
                     e.u64(a.cache_hits);
                     e.u64(a.resident_chunks);
                 }
+            }
+            Response::Metrics(text) => {
+                e.u8(RESP_METRICS);
+                e.str(text);
             }
             Response::Err {
                 code,
@@ -619,6 +638,7 @@ impl Response {
                     artifacts,
                 })
             }
+            RESP_METRICS => Response::Metrics(d.str(MAX_METRICS_BYTES, "metrics exposition")?),
             RESP_ERR => Response::Err {
                 code: d.u8()?,
                 in_flight: d.u64()?,
@@ -679,6 +699,7 @@ mod tests {
         round_trip_request(Request::Open { name: "sp".into() });
         round_trip_request(Request::List);
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Metrics);
         round_trip_request(Request::ReconstructRange {
             name: "field".into(),
             ranges: vec![(0, 4), (2, 3), (10, 2)],
@@ -738,11 +759,22 @@ mod tests {
                 resident_chunks: 4,
             }],
         }));
+        round_trip_response(Response::Metrics(
+            "counter serve.requests 3\nhist serve.op.list.us count=3 sum_us=12 p50=4 p99=8\n"
+                .into(),
+        ));
         round_trip_response(Response::Err {
             code: ERR_BUSY,
             in_flight: 8,
             message: "at capacity".into(),
         });
+    }
+
+    #[test]
+    fn oversized_metrics_exposition_is_rejected() {
+        let mut bad = vec![RESP_METRICS];
+        bad.extend_from_slice(&(MAX_METRICS_BYTES as u32 + 1).to_le_bytes());
+        assert!(Response::decode(&bad).is_err());
     }
 
     #[test]

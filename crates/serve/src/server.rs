@@ -46,6 +46,7 @@
 //! shares one chunk budget and per-artifact hit/decode/resident accounting —
 //! the `stats` opcode reports it.
 
+use crate::metrics;
 use crate::proto::{
     check_frame_len, encode_frame, ArtifactInfo, ArtifactStats, RemoteHeader, Request, Response,
     ServeStats, ERR_BUSY, ERR_DEADLINE, ERR_INTERNAL, ERR_OPEN, ERR_PROTOCOL, ERR_QUERY,
@@ -424,6 +425,7 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             FrameRead::End => return,
             FrameRead::BadLength(len) => {
                 shared.proto_errors.fetch_add(1, Ordering::Relaxed);
+                metrics::PROTO_ERRORS.inc();
                 let resp = err_response(
                     ERR_PROTOCOL,
                     format!(
@@ -444,6 +446,7 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 // The frame boundary is intact, so the connection survives a
                 // payload that does not parse.
                 shared.proto_errors.fetch_add(1, Ordering::Relaxed);
+                metrics::PROTO_ERRORS.inc();
                 if !write_response(&mut stream, &err_response(ERR_PROTOCOL, e.to_string())) {
                     return;
                 }
@@ -459,12 +462,20 @@ fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
 
+        // Every successfully decoded request — busy rejections and typed
+        // failures included — lands in its opcode's latency histogram,
+        // observed around execution *and* the reply write so the numbers
+        // match what a client on this connection actually waits.
+        let op_hist = metrics::op_histogram(&request);
+        let op_started = Instant::now();
         let response = handle_request(request, shared);
         let ok = write_response(&mut stream, &response);
+        op_hist.observe(op_started.elapsed());
         if matches!(response, Response::Err { .. }) {
             // Typed request failures keep the session; only counters differ.
         } else {
             shared.served.fetch_add(1, Ordering::Relaxed);
+            metrics::REQUESTS.inc();
         }
         if !ok {
             return;
@@ -514,6 +525,7 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Response {
             Response::List(items)
         }
         Request::Stats => Response::Stats(stats_snapshot(shared)),
+        Request::Metrics => Response::Metrics(metrics_exposition(shared)),
         Request::Open { name } => match resolve_reader(&name, shared) {
             Ok(reader) => Response::Open(remote_header(&reader)),
             Err(resp) => resp,
@@ -540,12 +552,15 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Response {
                 .is_err()
             {
                 shared.busy.fetch_add(1, Ordering::Relaxed);
+                metrics::BUSY_REJECTIONS.inc();
                 return Response::Err {
                     code: ERR_BUSY,
                     in_flight: shared.in_flight.load(Ordering::Relaxed) as u64,
                     message: format!("admission cap {} reached; retry later", shared.queue_depth),
                 };
             }
+
+            metrics::IN_FLIGHT.inc();
 
             let (reply_tx, reply_rx) = mpsc::channel();
             let job = Job {
@@ -562,6 +577,7 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Response {
             };
             if !sent {
                 shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                metrics::IN_FLIGHT.dec();
                 return err_response(ERR_SHUTTING_DOWN, "server is shutting down".to_string());
             }
 
@@ -588,8 +604,37 @@ fn request_artifact(request: &Request) -> Option<&str> {
         | Request::ReconstructSlice { name, .. }
         | Request::Element { name, .. }
         | Request::Elements { name, .. } => Some(name),
-        Request::List | Request::Stats => None,
+        Request::List | Request::Stats | Request::Metrics => None,
     }
+}
+
+/// The `metrics` opcode's payload: the whole process registry rendered by
+/// `tucker_obs::metrics::render`, followed by per-artifact cache gauges
+/// (`serve.artifact.<name>.*`, sorted by artifact name) derived from the
+/// same [`SharedChunkCache`] accounting the `stats` opcode reports.
+fn metrics_exposition(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let mut out = tucker_obs::metrics::render();
+    let mut artifacts = shared.cache.artifacts();
+    artifacts.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, s) in artifacts {
+        let _ = writeln!(
+            out,
+            "gauge serve.artifact.{name}.decoded_chunks {}",
+            s.decoded_chunks
+        );
+        let _ = writeln!(
+            out,
+            "gauge serve.artifact.{name}.cache_hits {}",
+            s.cache_hits
+        );
+        let _ = writeln!(
+            out,
+            "gauge serve.artifact.{name}.resident_chunks {}",
+            s.resident_chunks
+        );
+    }
+    out
 }
 
 fn remote_header(reader: &TkrReader) -> RemoteHeader {
@@ -625,6 +670,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, shared: &Shared) {
         // work the pool has actually committed to.
         let _ = job.reply.send(response);
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        metrics::IN_FLIGHT.dec();
     }
 }
 
@@ -704,8 +750,8 @@ fn execute(request: &Request, reader: &TkrReader) -> Response {
                 Err(e) => err_response(ERR_QUERY, e.to_string()),
             }
         }
-        // Open/List/Stats never reach the worker pool.
-        Request::Open { .. } | Request::List | Request::Stats => err_response(
+        // Open/List/Stats/Metrics never reach the worker pool.
+        Request::Open { .. } | Request::List | Request::Stats | Request::Metrics => err_response(
             ERR_INTERNAL,
             "control request routed to a worker".to_string(),
         ),

@@ -17,6 +17,14 @@
 //!   artifact's quantization-error bound (checked against the ε budget).
 
 use std::io::{self, Read, Write};
+use tucker_obs::metrics::Counter;
+
+/// Codec throughput accounting (see `tucker-obs`): blocks and on-disk
+/// payload bytes, counted once per successful encode/decode.
+static ENCODE_BLOCKS: Counter = Counter::new("store.encode.blocks");
+static ENCODE_BYTES: Counter = Counter::new("store.encode.bytes");
+static DECODE_BLOCKS: Counter = Counter::new("store.decode.blocks");
+static DECODE_BYTES: Counter = Counter::new("store.decode.bytes");
 
 /// Scale such that the largest magnitude maps to the largest `i16`.
 const Q16_MAX: f64 = i16::MAX as f64;
@@ -121,6 +129,8 @@ impl Codec {
                 }
             }
         }
+        ENCODE_BLOCKS.inc();
+        ENCODE_BYTES.add(self.block_bytes(values.len()) as u64);
         Ok(sq_err)
     }
 
@@ -154,6 +164,8 @@ impl Codec {
                 }
             }
         }
+        DECODE_BLOCKS.inc();
+        DECODE_BYTES.add(self.block_bytes(len) as u64);
         Ok(out)
     }
 

@@ -43,6 +43,15 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use tucker_obs::metrics::Counter;
+
+/// Pool-wide aggregates in the global metrics registry (see `tucker-obs`).
+/// The per-artifact [`ArtifactCacheStats`] slots remain the source of truth
+/// for per-key accounting; these are the process-level roll-up the serve
+/// exposition reports alongside them.
+static CACHE_HITS: Counter = Counter::new("store.cache.hits");
+static CACHE_DECODES: Counter = Counter::new("store.cache.decodes");
+static CACHE_EVICTIONS: Counter = Counter::new("store.cache.evictions");
 
 /// A point-in-time snapshot of one artifact's cache accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +104,7 @@ impl Stripe {
             };
             if let Some(evicted) = self.entries.remove(&oldest) {
                 evicted.slot.resident.fetch_sub(1, Ordering::Relaxed);
+                CACHE_EVICTIONS.inc();
             }
         }
     }
@@ -262,6 +272,7 @@ impl CacheSession {
         let data = Arc::clone(&entry.data);
         drop(stripe);
         self.slot.hits.fetch_add(1, Ordering::Relaxed);
+        CACHE_HITS.inc();
         Some(data)
     }
 
@@ -270,6 +281,7 @@ impl CacheSession {
     /// chunk's stripe until the budget holds again.
     pub fn insert(&self, chunk: usize, data: Arc<Vec<f64>>) {
         self.slot.decoded.fetch_add(1, Ordering::Relaxed);
+        CACHE_DECODES.inc();
         let stamp = self.inner.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let mut stripe = self.stripe(chunk).lock().unwrap_or_else(|e| e.into_inner());
         let fresh = stripe

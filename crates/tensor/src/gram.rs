@@ -13,6 +13,13 @@ use tucker_exec::{chunk_ranges, ExecContext};
 use tucker_linalg::gemm::{gemm_slices, gemm_slices_ctx, Transpose};
 use tucker_linalg::syrk::{syrk_rows_slices, syrk_slices, triangular_scatter_mirror};
 use tucker_linalg::Matrix;
+use tucker_obs::metrics::Counter;
+
+/// Kernel accounting: symmetric Gram flops are the lower-triangle
+/// multiply-adds `(I_n + 1) · |Y|`; the pair kernel is a full rectangular
+/// product, `2 · I_n · |W|`.
+static GRAM_CALLS: Counter = Counter::new("tensor.gram.calls");
+static GRAM_FLOPS: Counter = Counter::new("tensor.gram.flops");
 
 /// Computes the symmetric Gram matrix `S = Y(n) Y(n)ᵀ` of size `I_n × I_n`.
 pub fn gram(y: &DenseTensor, mode: usize) -> Matrix {
@@ -85,6 +92,10 @@ pub fn gram_accumulate_ctx(ctx: &ExecContext, y: &DenseTensor, mode: usize, s: &
     if n == 0 || y.is_empty() {
         return;
     }
+
+    let _span = tucker_obs::span!("gram", mode = mode, n = n);
+    GRAM_CALLS.inc();
+    GRAM_FLOPS.add((n as u64 + 1) * (y.len() as u64));
 
     if unf.left == 1 {
         // First mode: the whole buffer is a column-major I_n × Î_n matrix,
@@ -170,6 +181,10 @@ pub fn gram_pair_ctx(ctx: &ExecContext, y: &DenseTensor, w: &DenseTensor, mode: 
     if ny == 0 || nw == 0 || y.is_empty() || w.is_empty() {
         return s;
     }
+
+    let _span = tucker_obs::span!("gram_pair", mode = mode, ny = ny, nw = nw);
+    GRAM_CALLS.inc();
+    GRAM_FLOPS.add(2 * (ny as u64) * (w.len() as u64));
 
     if unf_y.left == 1 {
         let cols = unf_y.cols();

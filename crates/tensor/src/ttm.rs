@@ -13,6 +13,13 @@ use std::ops::Range;
 use tucker_exec::{chunk_ranges, ExecContext};
 use tucker_linalg::gemm::{gemm_slices, gemm_slices_ctx, Transpose};
 use tucker_linalg::Matrix;
+use tucker_obs::metrics::Counter;
+
+/// Kernel accounting: one call per [`ttm_into_ctx`] invocation; flops are
+/// the mode-product multiply-adds `2 · |X| · K` regardless of which
+/// (fused/unfused, pooled/sequential) path executes them.
+static TTM_CALLS: Counter = Counter::new("tensor.ttm.calls");
+static TTM_FLOPS: Counter = Counter::new("tensor.ttm.flops");
 
 /// `left` widths below this use the fused batch path: the `left == 1` trick
 /// generalized, gluing runs of tiny per-block GEMMs into one wide GEMM.
@@ -126,6 +133,10 @@ pub fn ttm_into_ctx(
             assert_eq!(a, b, "ttm_into: output dimension mismatch in mode {m}");
         }
     }
+
+    let _span = tucker_obs::span!("ttm", mode = mode, k_out = k);
+    TTM_CALLS.inc();
+    TTM_FLOPS.add(2 * (x.len() as u64) * (k as u64));
 
     let unf = Unfolding::new(dims, mode);
     let left = unf.left;

@@ -23,6 +23,11 @@
 //!   registered artifacts to concurrent clients over a length-prefixed
 //!   binary protocol, with a shared decoded-chunk cache, bounded worker
 //!   pool, and graceful drain.
+//! * [`obs`]     — workspace-wide observability: the process-global metrics
+//!   registry (counters, gauges, latency histograms; `TUCKER_METRICS=0`
+//!   turns every instrument into a no-op) and structured span tracing
+//!   (`TUCKER_TRACE=<path>` exports JSON-lines or chrome-trace). Every
+//!   layer above records into it; the daemon serves it over the wire.
 //!
 //! See the repository README for a guided tour and the `examples/` directory
 //! for runnable end-to-end programs (all written against [`api`]).
@@ -32,6 +37,7 @@ pub use tucker_core as core;
 pub use tucker_distmem as distmem;
 pub use tucker_exec as exec;
 pub use tucker_linalg as linalg;
+pub use tucker_obs as obs;
 pub use tucker_scidata as scidata;
 pub use tucker_serve as serve;
 pub use tucker_store as store;

@@ -17,7 +17,9 @@
 //!   `docs/ARCHITECTURE.md` §4).
 //! * [`Workspace`] — a recycling pool of `Vec<f64>` buffers so iterative
 //!   drivers (the HOOI inner loop in particular) stop allocating fresh
-//!   tensors every sweep.
+//!   tensors every sweep, plus 64-byte-aligned [`AlignedBuf`] buffers
+//!   ([`Workspace::take_aligned`]) for the GEMM/SYRK panel packing of
+//!   `tucker-linalg`.
 //!
 //! The pool size of the global context is `TUCKER_THREADS` when set to a
 //! positive integer, otherwise `std::thread::available_parallelism()`.
@@ -30,4 +32,4 @@ pub mod pool;
 pub mod workspace;
 
 pub use pool::{chunk_ranges, triangle_row_chunks, ExecContext, ScopedJob, PAR_MIN_WORK};
-pub use workspace::Workspace;
+pub use workspace::{AlignedBuf, Workspace, BUFFER_ALIGN};

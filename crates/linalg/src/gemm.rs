@@ -9,10 +9,15 @@
 //! (one panel per thread, no per-call spawning), and [`par_gemm`] survives as
 //! a thin compatibility wrapper over that pool-backed path.
 //!
-//! **Determinism contract:** row-panel parallelism never changes the
-//! per-element accumulation order (the `KC` blocking of the contraction
-//! dimension is identical in every panel), so `gemm_slices_ctx` is
-//! bit-identical to `gemm_slices` for every thread count.
+//! **Determinism contract (renegotiated in the microkernel PR):** every
+//! element of C is one running accumulator, seeded from the beta-scaled C
+//! value, adding `fl(fl(alpha·a[i,p]) · b[p,j])` for `p` strictly ascending —
+//! with no fused multiply-add on any SIMD tier. Cache blocking, the packed
+//! vs. direct path, the `TUCKER_SIMD` tier, and row-panel parallelism all
+//! preserve that per-element recurrence exactly, so `gemm_slices_ctx` is
+//! bit-identical to `gemm_slices` for every thread count *and* every tier
+//! ([`crate::microkernel`] documents the kernel side of the contract;
+//! [`gemm_slices_reference`] restates it as an executable oracle).
 
 use crate::matrix::Matrix;
 use tucker_exec::ExecContext;
@@ -43,10 +48,21 @@ impl Transpose {
     }
 }
 
-/// Cache-block edge sizes for the packed micro-kernel.
-const MC: usize = 64;
-const KC: usize = 128;
-const NC: usize = 256;
+/// Cache-block edge sizes for the packed microkernel driver: C is tiled
+/// `MC × NC`, the contraction dimension is cut into `KC` slabs. `MC` is a
+/// multiple of [`crate::microkernel::MR`] and `NC` of
+/// [`crate::microkernel::NR`]. The values are **performance tuning only** —
+/// the per-element accumulation contract makes the result bits independent
+/// of them.
+pub(crate) const MC: usize = 96;
+pub(crate) const KC: usize = 256;
+pub(crate) const NC: usize = 512;
+
+/// Multiply-add count at or below which [`gemm_slices`] skips panel packing
+/// and runs the direct scalar loop (same bits, less setup): the fused TTM
+/// interior and lazy-reader paths issue streams of tiny GEMMs that would
+/// otherwise spend more time packing than multiplying.
+pub(crate) const DIRECT_WORK_MAX: usize = 8 * 1024;
 
 /// Computes `C ← alpha · op(A) · op(B) + beta · C` on raw row-major slices.
 ///
@@ -115,66 +131,166 @@ pub fn gemm_slices(
     GEMM_CALLS.inc();
     GEMM_FLOPS.add(2 * (m as u64) * (n as u64) * (k as u64));
 
-    // Packed blocked loop: pack a KC×NC panel of op(B) and an MC×KC panel of
-    // op(A), then run a straightforward register-friendly inner kernel. The
-    // pack buffers are sized to the actual problem so tiny GEMMs (ubiquitous in
-    // the interior-mode TTM/Gram block loops) do not pay for full-size panels.
-    let mut a_pack = vec![0.0f64; MC.min(m) * KC.min(k)];
-    let mut b_pack = vec![0.0f64; KC.min(k) * NC.min(n)];
+    // Both paths below realize the identical per-element recurrence (module
+    // docs), so the cutover threshold is invisible in the result bits.
+    if m * n * k <= DIRECT_WORK_MAX {
+        gemm_direct(ta, tb, alpha, a, lda, b, ldb, c, ldc, m, n, k);
+    } else {
+        gemm_blocked(ta, tb, alpha, a, lda, b, ldb, c, ldc, m, n, k);
+    }
+}
 
-    let read_a = |i: usize, p: usize| -> f64 {
-        match ta {
-            Transpose::No => a[i * lda + p],
-            Transpose::Yes => a[p * lda + i],
-        }
-    };
-    let read_b = |p: usize, j: usize| -> f64 {
-        match tb {
-            Transpose::No => b[p * ldb + j],
-            Transpose::Yes => b[j * ldb + p],
-        }
-    };
-
-    let mut jc = 0;
-    while jc < n {
-        let nb = NC.min(n - jc);
-        let mut pc = 0;
-        while pc < k {
-            let kb_ = KC.min(k - pc);
-            // Pack op(B)[pc..pc+kb_, jc..jc+nb] row-major into b_pack (kb_ x nb).
-            for p in 0..kb_ {
-                for j in 0..nb {
-                    b_pack[p * nb + j] = read_b(pc + p, jc + j);
-                }
-            }
-            let mut ic = 0;
-            while ic < m {
-                let mb = MC.min(m - ic);
-                // Pack op(A)[ic..ic+mb, pc..pc+kb_] row-major into a_pack (mb x kb_).
-                for i in 0..mb {
-                    for p in 0..kb_ {
-                        a_pack[i * kb_ + p] = read_a(ic + i, pc + p);
+/// Direct (unpacked) scalar path for tiny products: per-element running sum
+/// over ascending `p`, `alpha` folded into the A term — the contract
+/// recurrence with no packing overhead.
+#[allow(clippy::too_many_arguments)]
+fn gemm_direct(
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    for i in 0..m {
+        let crow = &mut c[i * ldc..i * ldc + n];
+        for p in 0..k {
+            let av = alpha
+                * match ta {
+                    Transpose::No => a[i * lda + p],
+                    Transpose::Yes => a[p * lda + i],
+                };
+            match tb {
+                Transpose::No => {
+                    let brow = &b[p * ldb..p * ldb + n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += av * bv;
                     }
                 }
-                // C[ic..ic+mb, jc..jc+nb] += alpha * a_pack * b_pack
-                for i in 0..mb {
-                    let arow = &a_pack[i * kb_..(i + 1) * kb_];
-                    let crow = &mut c[(ic + i) * ldc + jc..(ic + i) * ldc + jc + nb];
-                    for (p, &aval) in arow.iter().enumerate() {
-                        let scaled = alpha * aval;
-                        if scaled != 0.0 {
-                            let brow = &b_pack[p * nb..p * nb + nb];
-                            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                                *cv += scaled * bv;
-                            }
-                        }
+                Transpose::Yes => {
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        *cv += av * b[j * ldb + p];
                     }
                 }
-                ic += mb;
             }
-            pc += kb_;
         }
-        jc += nb;
+    }
+}
+
+/// Packed, cache-blocked microkernel driver: `jc` (NC columns) → `pc` (KC
+/// contraction slab) → `ic` (MC rows), with op(A)/op(B) blocks packed into
+/// 64-byte-aligned thread-local buffers and the tile grid retired by the
+/// runtime-selected SIMD tier ([`crate::simd`]).
+///
+/// For any fixed output element, the `pc` slabs arrive in ascending order
+/// and each slab's microkernel accumulates its terms in ascending order from
+/// the element's current value — so the element sees one running sum over
+/// `p = 0..k` regardless of the blocking constants or tier.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    let tier = crate::simd::current_tier();
+    let a_len = crate::pack::padded(MC.min(m), crate::microkernel::MR) * KC.min(k);
+    let b_len = KC.min(k) * crate::pack::padded(NC.min(n), crate::microkernel::NR);
+    crate::pack::with_pack_buffers(a_len, b_len, |a_pack, b_pack| {
+        let mut jc = 0;
+        while jc < n {
+            let nb = NC.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kb = KC.min(k - pc);
+                crate::pack::pack_b(b_pack, tb, b, ldb, pc, kb, jc, nb);
+                let mut ic = 0;
+                while ic < m {
+                    let mb = MC.min(m - ic);
+                    crate::pack::pack_a(a_pack, ta, alpha, a, lda, ic, mb, pc, kb);
+                    crate::microkernel::block_kernel(
+                        tier,
+                        a_pack,
+                        b_pack,
+                        mb,
+                        nb,
+                        kb,
+                        &mut c[ic * ldc + jc..],
+                        ldc,
+                        None,
+                    );
+                    ic += mb;
+                }
+                pc += kb;
+            }
+            jc += nb;
+        }
+    });
+}
+
+/// Executable statement of the determinism contract, on the same raw-slice
+/// surface as [`gemm_slices`]: the kernel and this function must agree **bit
+/// for bit** on every input (the proptest battery in
+/// `crates/linalg/tests/microkernel.rs` enforces exactly that).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slices_reference(
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f64,
+    a: &[f64],
+    a_rows: usize,
+    a_cols: usize,
+    lda: usize,
+    b: &[f64],
+    b_rows: usize,
+    b_cols: usize,
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let (m, k) = ta.effective(a_rows, a_cols);
+    let (_, n) = tb.effective(b_rows, b_cols);
+    for i in 0..m {
+        for j in 0..n {
+            // Seed: beta-scaled C (0.0 exactly when beta == 0).
+            let mut acc = if beta == 0.0 {
+                0.0
+            } else if beta == 1.0 {
+                c[i * ldc + j]
+            } else {
+                beta * c[i * ldc + j]
+            };
+            if alpha != 0.0 {
+                for p in 0..k {
+                    let av = match ta {
+                        Transpose::No => a[i * lda + p],
+                        Transpose::Yes => a[p * lda + i],
+                    };
+                    let bv = match tb {
+                        Transpose::No => b[p * ldb + j],
+                        Transpose::Yes => b[j * ldb + p],
+                    };
+                    // fl(fl(alpha·a)·b), then one add — never an FMA.
+                    acc += (alpha * av) * bv;
+                }
+            }
+            c[i * ldc + j] = acc;
+        }
     }
 }
 
@@ -263,7 +379,16 @@ pub fn gemm_slices_ctx(
     // Only trace pool-worthy products; the fused TTM interior calls the
     // sequential kernel directly, so tiny GEMMs never flood the trace.
     let _span = if work >= PAR_MIN_WORK {
-        Some(tucker_obs::span!("gemm", m = m, n = n, k = k))
+        Some(tucker_obs::span!(
+            "gemm",
+            m = m,
+            n = n,
+            k = k,
+            tier = crate::simd::current_tier().id(),
+            mc = MC,
+            kc = KC,
+            nc = NC
+        ))
     } else {
         None
     };
@@ -684,5 +809,133 @@ mod tests {
             2,
         );
         assert_eq!(c, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn blocked_kernel_is_bitwise_equal_to_the_contract_reference() {
+        // Shapes straddle the direct/packed cutover and the MC/KC/NC block
+        // edges; the contract makes the path choice invisible bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(50);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (7, 9, 5),                // direct path
+            (20, 21, 20),             // just above DIRECT_WORK_MAX
+            (MC + 3, KC + 5, NC / 4), // crosses MC and KC edges
+            (97, 31, 130),
+        ] {
+            for &ta in &[Transpose::No, Transpose::Yes] {
+                for &tb in &[Transpose::No, Transpose::Yes] {
+                    for &(alpha, beta) in &[(1.0, 0.0), (1.3, 0.5), (-0.7, 1.0)] {
+                        let (ar, ac) = match ta {
+                            Transpose::No => (m, k),
+                            Transpose::Yes => (k, m),
+                        };
+                        let (br, bc) = match tb {
+                            Transpose::No => (k, n),
+                            Transpose::Yes => (n, k),
+                        };
+                        let a = random_matrix(&mut rng, ar, ac);
+                        let b = random_matrix(&mut rng, br, bc);
+                        let c0 = random_matrix(&mut rng, m, n);
+                        let mut fast = c0.clone();
+                        let mut ref_ = c0.clone();
+                        gemm_slices(
+                            ta,
+                            tb,
+                            alpha,
+                            a.as_slice(),
+                            ar,
+                            ac,
+                            ac,
+                            b.as_slice(),
+                            br,
+                            bc,
+                            bc,
+                            beta,
+                            fast.as_mut_slice(),
+                            n,
+                        );
+                        gemm_slices_reference(
+                            ta,
+                            tb,
+                            alpha,
+                            a.as_slice(),
+                            ar,
+                            ac,
+                            ac,
+                            b.as_slice(),
+                            br,
+                            bc,
+                            bc,
+                            beta,
+                            ref_.as_mut_slice(),
+                            n,
+                        );
+                        let fb: Vec<u64> = fast.as_slice().iter().map(|v| v.to_bits()).collect();
+                        let rb: Vec<u64> = ref_.as_slice().iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(
+                            fb, rb,
+                            "m={m} k={k} n={n} ta={ta:?} tb={tb:?} α={alpha} β={beta}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_operands_match_the_contract_reference_bitwise() {
+        // Embed every operand in a wider buffer (ld > logical cols).
+        let mut rng = StdRng::seed_from_u64(51);
+        let (m, k, n) = (37usize, 29usize, 23usize);
+        let (lda, ldb, ldc) = (k + 5, n + 2, n + 7);
+        let a: Vec<f64> = (0..m * lda).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..k * ldb).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let c0: Vec<f64> = (0..m * ldc).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut fast = c0.clone();
+        let mut ref_ = c0.clone();
+        gemm_slices(
+            Transpose::No,
+            Transpose::No,
+            1.1,
+            &a,
+            m,
+            k,
+            lda,
+            &b,
+            k,
+            n,
+            ldb,
+            0.3,
+            &mut fast,
+            ldc,
+        );
+        gemm_slices_reference(
+            Transpose::No,
+            Transpose::No,
+            1.1,
+            &a,
+            m,
+            k,
+            lda,
+            &b,
+            k,
+            n,
+            ldb,
+            0.3,
+            &mut ref_,
+            ldc,
+        );
+        // Outside the logical n columns the gutter must be untouched by the
+        // kernel; compare only live elements bitwise and gutters to c0.
+        for i in 0..m {
+            for j in 0..ldc {
+                if j < n {
+                    assert_eq!(fast[i * ldc + j].to_bits(), ref_[i * ldc + j].to_bits());
+                } else {
+                    assert_eq!(fast[i * ldc + j], c0[i * ldc + j], "gutter ({i},{j})");
+                }
+            }
+        }
     }
 }

@@ -23,7 +23,10 @@ pub mod blas1;
 pub mod eig;
 pub mod gemm;
 pub mod matrix;
+pub mod microkernel;
+pub mod pack;
 pub mod qr;
+pub mod simd;
 pub mod svd;
 pub mod syrk;
 
@@ -32,6 +35,7 @@ pub use eig::{sym_eig, sym_eig_desc, SymEig};
 pub use gemm::{gemm, gemm_ctx, gemm_into, gemm_into_ctx, gemm_slices_ctx, par_gemm, Transpose};
 pub use matrix::Matrix;
 pub use qr::{householder_qr, QrFactors};
+pub use simd::{current_tier, detected_tier, force_tier, supported_tiers, SimdTier};
 pub use svd::{jacobi_svd, Svd};
 pub use syrk::{par_syrk, syrk, syrk_ctx, syrk_into, syrk_rows_slices, triangular_scatter_mirror};
 

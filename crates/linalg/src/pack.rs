@@ -1,0 +1,304 @@
+//! Panel packing for the cache-blocked GEMM/SYRK microkernels.
+//!
+//! The blocked drivers in [`crate::gemm`] / [`crate::syrk`] copy each
+//! `MC × KC` block of `op(A)` and `KC × NC` block of `op(B)` into contiguous,
+//! 64-byte-aligned buffers before the microkernel runs over them:
+//!
+//! * `op(A)` blocks are stored as a sequence of `MR`-row panels, each laid
+//!   out k-major (`dst[p·MR + r]` = row `r`, contraction index `p`), so the
+//!   microkernel reads `MR` consecutive values per step. `alpha` is folded in
+//!   here — `fl(alpha·a)` rounds exactly once per element, which is part of
+//!   the accumulation contract (`docs/ARCHITECTURE.md` §4).
+//! * `op(B)` blocks are stored as `NR`-column panels, k-major
+//!   (`dst[p·NR + t]`), so each microkernel step loads one contiguous
+//!   `NR`-vector.
+//!
+//! Ragged block edges are zero-padded up to the `MR`/`NR` grid; the padded
+//! rows/columns are computed by the full-width microkernel and discarded at
+//! writeback, never read back, so padding is invisible in the results.
+//!
+//! The buffers come from a thread-local `tucker-exec` [`Workspace`]
+//! ([`with_pack_buffers`]): one pair per thread, recycled across calls, with
+//! the workspace's 64-byte alignment guarantee.
+
+use crate::gemm::Transpose;
+use crate::microkernel::{MR, NR};
+use std::cell::RefCell;
+use tucker_exec::Workspace;
+
+/// `n` rounded up to a multiple of `unit` (`unit` is a non-zero constant at
+/// every call site).
+pub fn padded(n: usize, unit: usize) -> usize {
+    n.div_ceil(unit.max(1)) * unit.max(1)
+}
+
+/// Packs `alpha · op(A)[row0 .. row0+mb, p0 .. p0+kb]` into `dst` as
+/// `MR`-row k-major panels, zero-padding rows `mb..` of the last panel.
+///
+/// `src` is the stored (untransposed) matrix with leading dimension `ld`;
+/// `row0`/`mb` index rows *of `op(A)`*. `dst` must hold at least
+/// `padded(mb, MR) · kb` elements; every one of them is written.
+pub fn pack_a(
+    dst: &mut [f64],
+    trans: Transpose,
+    alpha: f64,
+    src: &[f64],
+    ld: usize,
+    row0: usize,
+    mb: usize,
+    p0: usize,
+    kb: usize,
+) {
+    let mb_p = padded(mb, MR);
+    match trans {
+        Transpose::No => {
+            // op(A)[i][p] = src[i·ld + p]: copy row slices into stride-MR
+            // positions of the owning panel.
+            for ip in 0..mb_p / MR {
+                let panel = &mut dst[ip * MR * kb..(ip + 1) * MR * kb];
+                for r in 0..MR {
+                    let i = ip * MR + r;
+                    if i < mb {
+                        let row = &src[(row0 + i) * ld + p0..(row0 + i) * ld + p0 + kb];
+                        for (p, &v) in row.iter().enumerate() {
+                            panel[p * MR + r] = alpha * v;
+                        }
+                    } else {
+                        for p in 0..kb {
+                            panel[p * MR + r] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        Transpose::Yes => {
+            // op(A)[i][p] = src[p·ld + i]: each stored row p is contiguous in
+            // i, landing contiguously in the panel too.
+            for ip in 0..mb_p / MR {
+                let panel = &mut dst[ip * MR * kb..(ip + 1) * MR * kb];
+                let i_base = row0 + ip * MR;
+                let rows_here = MR.min(mb - (ip * MR).min(mb));
+                for p in 0..kb {
+                    let srow = &src[(p0 + p) * ld..];
+                    let out = &mut panel[p * MR..p * MR + MR];
+                    for (r, o) in out.iter_mut().enumerate() {
+                        *o = if r < rows_here {
+                            alpha * srow[i_base + r]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs `op(B)[p0 .. p0+kb, col0 .. col0+nb]` into `dst` as `NR`-column
+/// k-major panels, zero-padding columns `nb..` of the last panel.
+///
+/// `src` is the stored matrix with leading dimension `ld`; `col0`/`nb` index
+/// columns *of `op(B)`*. `dst` must hold at least `kb · padded(nb, NR)`
+/// elements; every one of them is written.
+pub fn pack_b(
+    dst: &mut [f64],
+    trans: Transpose,
+    src: &[f64],
+    ld: usize,
+    p0: usize,
+    kb: usize,
+    col0: usize,
+    nb: usize,
+) {
+    let nb_p = padded(nb, NR);
+    match trans {
+        Transpose::No => {
+            // op(B)[p][j] = src[p·ld + j]: stored rows are contiguous in j.
+            for jp in 0..nb_p / NR {
+                let panel = &mut dst[jp * kb * NR..(jp + 1) * kb * NR];
+                let j_base = col0 + jp * NR;
+                let cols_here = NR.min(nb - (jp * NR).min(nb));
+                for p in 0..kb {
+                    let srow = &src[(p0 + p) * ld..];
+                    let out = &mut panel[p * NR..p * NR + NR];
+                    for (t, o) in out.iter_mut().enumerate() {
+                        *o = if t < cols_here { srow[j_base + t] } else { 0.0 };
+                    }
+                }
+            }
+        }
+        Transpose::Yes => {
+            // op(B)[p][j] = src[j·ld + p]: stored row j is contiguous in p,
+            // written at stride NR within the panel.
+            for jp in 0..nb_p / NR {
+                let panel = &mut dst[jp * kb * NR..(jp + 1) * kb * NR];
+                for t in 0..NR {
+                    let j = jp * NR + t;
+                    if j < nb {
+                        let row = &src[(col0 + j) * ld + p0..(col0 + j) * ld + p0 + kb];
+                        for (p, &v) in row.iter().enumerate() {
+                            panel[p * NR + t] = v;
+                        }
+                    } else {
+                        for p in 0..kb {
+                            panel[p * NR + t] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// One pack-buffer pool per thread: the pool threads of `tucker-exec`
+    /// each recycle their own pair across every GEMM/SYRK panel they run.
+    static PACK_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Runs `f` with two 64-byte-aligned pack buffers of (at least) the
+/// requested lengths, recycled through a thread-local [`Workspace`].
+///
+/// Contents are unspecified on entry (stale values from earlier packs); the
+/// pack routines above overwrite every element they expose to the
+/// microkernel. Re-entrant calls (a kernel invoked from inside `f`) fall
+/// back to fresh single-use buffers instead of aliasing the pooled pair.
+pub fn with_pack_buffers<R>(
+    a_len: usize,
+    b_len: usize,
+    f: impl FnOnce(&mut [f64], &mut [f64]) -> R,
+) -> R {
+    let (mut a, mut b) = PACK_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => (ws.take_aligned(a_len), ws.take_aligned(b_len)),
+        Err(_) => {
+            let mut fresh = Workspace::new();
+            (fresh.take_aligned(a_len), fresh.take_aligned(b_len))
+        }
+    });
+    let result = f(a.as_mut_slice(), b.as_mut_slice());
+    PACK_WS.with(|cell| {
+        if let Ok(mut ws) = cell.try_borrow_mut() {
+            ws.give_aligned(a);
+            ws.give_aligned(b);
+        }
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_matrix(rows: usize, cols: usize) -> Vec<f64> {
+        (0..rows * cols).map(|v| v as f64 + 1.0).collect()
+    }
+
+    #[test]
+    fn pack_a_no_transpose_interleaves_and_pads() {
+        // 3 rows (pads to MR), k = 2, alpha = 2.
+        let src = seq_matrix(3, 2);
+        let mut dst = vec![-1.0; MR * 2];
+        pack_a(&mut dst, Transpose::No, 2.0, &src, 2, 0, 3, 0, 2);
+        for p in 0..2 {
+            for r in 0..MR {
+                let want = if r < 3 { 2.0 * src[r * 2 + p] } else { 0.0 };
+                assert_eq!(dst[p * MR + r], want, "p={p} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_transpose_matches_op() {
+        // Stored 3×5, op(A) = Aᵀ is 5×3; take rows 1..4 of op(A), k-range 1..3.
+        let src = seq_matrix(3, 5);
+        let (row0, mb, p0, kb) = (1usize, 3usize, 1usize, 2usize);
+        let mut dst = vec![-1.0; padded(mb, MR) * kb];
+        pack_a(&mut dst, Transpose::Yes, 1.0, &src, 5, row0, mb, p0, kb);
+        for p in 0..kb {
+            for r in 0..MR {
+                let want = if r < mb {
+                    src[(p0 + p) * 5 + row0 + r]
+                } else {
+                    0.0
+                };
+                assert_eq!(dst[p * MR + r], want, "p={p} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_no_transpose_pads_columns() {
+        // op(B) = B stored 4×6 (ld 6); pack cols 3..6 (nb = 3 pads to NR).
+        let src = seq_matrix(4, 6);
+        let (p0, kb, col0, nb) = (1usize, 3usize, 3usize, 3usize);
+        let mut dst = vec![-1.0; kb * padded(nb, NR)];
+        pack_b(&mut dst, Transpose::No, &src, 6, p0, kb, col0, nb);
+        for p in 0..kb {
+            for t in 0..NR {
+                let want = if t < nb {
+                    src[(p0 + p) * 6 + col0 + t]
+                } else {
+                    0.0
+                };
+                assert_eq!(dst[p * NR + t], want, "p={p} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_transpose_matches_op() {
+        // Stored 5×4 (ld 4); op(B) = Bᵀ is 4×5: pack k-range 1..4, cols 0..5.
+        let src = seq_matrix(5, 4);
+        let (p0, kb, col0, nb) = (1usize, 3usize, 0usize, 5usize);
+        let mut dst = vec![-1.0; kb * padded(nb, NR)];
+        pack_b(&mut dst, Transpose::Yes, &src, 4, p0, kb, col0, nb);
+        for jp in 0..padded(nb, NR) / NR {
+            let panel = &dst[jp * kb * NR..(jp + 1) * kb * NR];
+            for p in 0..kb {
+                for t in 0..NR {
+                    let j = jp * NR + t;
+                    let want = if j < nb {
+                        src[(col0 + j) * 4 + p0 + p]
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(panel[p * NR + t], want, "jp={jp} p={p} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_pack_buffers_recycles_per_thread() {
+        let first = with_pack_buffers(256, 512, |a, b| {
+            assert_eq!(a.len(), 256);
+            assert_eq!(b.len(), 512);
+            assert_eq!(a.as_ptr() as usize % tucker_exec::BUFFER_ALIGN, 0);
+            assert_eq!(b.as_ptr() as usize % tucker_exec::BUFFER_ALIGN, 0);
+            a.as_ptr() as usize + b.as_ptr() as usize
+        });
+        // Same thread, same or smaller sizes ⇒ the pooled pair comes back.
+        let second = with_pack_buffers(256, 512, |a, b| a.as_ptr() as usize + b.as_ptr() as usize);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn reentrant_pack_buffers_do_not_alias() {
+        with_pack_buffers(64, 64, |a, _b| {
+            let outer = a.as_ptr() as usize;
+            with_pack_buffers(64, 64, |ia, ib| {
+                assert_ne!(ia.as_ptr() as usize, outer, "re-entrant call aliased");
+                assert_eq!(ia.len(), 64);
+                assert_eq!(ib.len(), 64);
+            });
+        });
+    }
+
+    #[test]
+    fn padded_rounds_up() {
+        assert_eq!(padded(0, 8), 0);
+        assert_eq!(padded(1, 8), 8);
+        assert_eq!(padded(8, 8), 8);
+        assert_eq!(padded(9, 4), 12);
+    }
+}

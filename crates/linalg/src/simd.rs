@@ -1,0 +1,198 @@
+//! Runtime SIMD tier selection for the packed GEMM/SYRK microkernels.
+//!
+//! The microkernels ([`crate::microkernel`]) are compiled in three tiers —
+//! AVX2, SSE2, and portable scalar — and the tier is chosen **once per
+//! process** at runtime:
+//!
+//! 1. `TUCKER_SIMD={auto,avx2,sse2,scalar}` requests a tier explicitly
+//!    (`auto` and unset mean "best supported").
+//! 2. The request is clamped to what the CPU supports
+//!    (`is_x86_feature_detected!("avx2")`; SSE2 is part of the `x86_64`
+//!    baseline; non-x86 targets always run scalar). A request the host
+//!    cannot honor falls back to the best supported tier with a one-time
+//!    warning on stderr — it never aborts, so the fallback tiers stay
+//!    testable on any machine.
+//!
+//! **The tier is invisible in the results.** Every tier implements the same
+//! per-element accumulation contract (one running sum per output element, in
+//! ascending contraction order, with no fused multiply-add), so outputs are
+//! bit-identical across `TUCKER_SIMD` settings — CI checks this by running
+//! the kernel and determinism suites under both `scalar` and `auto`, and the
+//! in-process [`force_tier`] hook lets one test binary compare all supported
+//! tiers directly.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The instruction-set tier a microkernel invocation executes with.
+///
+/// Ordering is meaningful: a numerically larger tier is a superset of the
+/// smaller ones, and requested tiers are clamped downward to the detected
+/// maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Portable scalar Rust; runs everywhere.
+    Scalar = 1,
+    /// 128-bit SSE2 (`x86_64` baseline).
+    Sse2 = 2,
+    /// 256-bit AVX2 (runtime-detected).
+    Avx2 = 3,
+}
+
+impl SimdTier {
+    /// Lower-case tier name, as accepted by `TUCKER_SIMD`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+
+    /// Stable small integer for metrics/span args.
+    pub fn id(self) -> u8 {
+        self as u8
+    }
+}
+
+/// `0` = not yet selected; otherwise a `SimdTier` discriminant.
+static TIER: AtomicU8 = AtomicU8::new(0);
+
+fn tier_from_u8(v: u8) -> Option<SimdTier> {
+    match v {
+        1 => Some(SimdTier::Scalar),
+        2 => Some(SimdTier::Sse2),
+        3 => Some(SimdTier::Avx2),
+        _ => None,
+    }
+}
+
+/// The best tier the running CPU supports.
+pub fn detected_tier() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            SimdTier::Avx2
+        } else {
+            // SSE2 is part of the x86_64 baseline — always present.
+            SimdTier::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdTier::Scalar
+    }
+}
+
+fn select_from_env() -> SimdTier {
+    let supported = detected_tier();
+    let requested = match std::env::var("TUCKER_SIMD") {
+        Ok(v) => v,
+        Err(_) => return supported,
+    };
+    let requested = requested.trim().to_ascii_lowercase();
+    let tier = match requested.as_str() {
+        "" | "auto" => supported,
+        "scalar" => SimdTier::Scalar,
+        "sse2" => SimdTier::Sse2,
+        "avx2" => SimdTier::Avx2,
+        other => {
+            eprintln!(
+                "tucker-linalg: TUCKER_SIMD={other:?} is not one of \
+                 auto/avx2/sse2/scalar; using {}",
+                supported.name()
+            );
+            supported
+        }
+    };
+    if tier > supported {
+        eprintln!(
+            "tucker-linalg: TUCKER_SIMD={} is not supported by this CPU; using {}",
+            tier.name(),
+            supported.name()
+        );
+        return supported;
+    }
+    tier
+}
+
+/// The tier every microkernel invocation in this process uses.
+///
+/// Selected on first call from `TUCKER_SIMD` + CPU detection and cached;
+/// [`force_tier`] can change it afterwards (tests and benches only).
+pub fn current_tier() -> SimdTier {
+    if let Some(t) = tier_from_u8(TIER.load(Ordering::Relaxed)) {
+        return t;
+    }
+    let t = select_from_env();
+    TIER.store(t.id(), Ordering::Relaxed);
+    t
+}
+
+/// Forces the process-wide tier, for tests and benchmarks that compare tiers
+/// within one process. Returns `false` (and changes nothing) when the host
+/// CPU does not support `tier`.
+///
+/// Kernel calls racing with a `force_tier` may use either the old or the new
+/// tier, but any *single* kernel invocation uses exactly one — and since all
+/// tiers are bit-identical, results never depend on the race. Callers that
+/// compare timings should still serialize around this (the bundled test
+/// suites hold a mutex).
+pub fn force_tier(tier: SimdTier) -> bool {
+    if tier > detected_tier() {
+        return false;
+    }
+    TIER.store(tier.id(), Ordering::Relaxed);
+    true
+}
+
+/// Every tier the host CPU can execute, in ascending order — the iteration
+/// set for cross-tier bit-equality tests.
+pub fn supported_tiers() -> Vec<SimdTier> {
+    let max = detected_tier();
+    [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2]
+        .into_iter()
+        .filter(|&t| t <= max)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detected_tier_is_at_least_the_baseline() {
+        #[cfg(target_arch = "x86_64")]
+        assert!(detected_tier() >= SimdTier::Sse2);
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(detected_tier(), SimdTier::Scalar);
+    }
+
+    #[test]
+    fn supported_tiers_are_ascending_and_end_at_detected() {
+        let tiers = supported_tiers();
+        assert!(!tiers.is_empty());
+        assert!(tiers.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*tiers.last().unwrap(), detected_tier());
+        assert_eq!(tiers[0], SimdTier::Scalar);
+    }
+
+    #[test]
+    fn force_tier_rejects_unsupported_and_accepts_scalar() {
+        // Scalar is supported everywhere.
+        assert!(force_tier(SimdTier::Scalar));
+        assert_eq!(current_tier(), SimdTier::Scalar);
+        // Restore the detected tier for other tests in this binary.
+        assert!(force_tier(detected_tier()));
+        assert_eq!(current_tier(), detected_tier());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for t in [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2] {
+            assert!(!t.name().is_empty());
+            assert!(t.id() >= 1 && t.id() <= 3);
+            assert_eq!(tier_from_u8(t.id()), Some(t));
+        }
+        assert_eq!(tier_from_u8(0), None);
+    }
+}

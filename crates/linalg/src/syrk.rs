@@ -4,7 +4,18 @@
 //! line 5) is the single most expensive kernel of ST-HOSVD for the first mode,
 //! so it gets a dedicated symmetric kernel that only computes the lower
 //! triangle and mirrors it, roughly halving the flops compared to a plain GEMM.
+//!
+//! **Determinism contract (renegotiated in the microkernel PR):** each
+//! lower-triangle element `c[i][j]` is one running accumulator adding
+//! `fl(fl(alpha·a[i,p]) · a[j,p])` for `p` strictly ascending, with no FMA —
+//! the same recurrence as [`crate::gemm`] with `op(B) = Aᵀ`. This *changed
+//! the bits once*: the previous kernel computed `alpha · dot(aᵢ, aⱼ)` with
+//! [`crate::blas1::dot`]'s 4-lane split accumulation. In exchange, the bits
+//! are now pinned by the shared microkernel contract: independent of the
+//! SIMD tier, the cache blocking, the packed/direct cutover, and the row
+//! partition (thread count).
 
+use crate::gemm::Transpose;
 use crate::matrix::Matrix;
 use std::ops::Range;
 use tucker_exec::{triangle_row_chunks, ExecContext};
@@ -60,22 +71,7 @@ pub fn syrk_slices(
     }
     SYRK_CALLS.inc();
     SYRK_FLOPS.add(triangle_flops(m, k));
-    // Lower triangle: c[i][j] += alpha * dot(a_row_i, a_row_j) for j <= i.
-    // Block over i to keep a_row_i hot.
-    const BLK: usize = 32;
-    let mut ib = 0;
-    while ib < m {
-        let iend = (ib + BLK).min(m);
-        for i in ib..iend {
-            let arow_i = &a[i * lda..i * lda + k];
-            for j in 0..=i {
-                let arow_j = &a[j * lda..j * lda + k];
-                let d = crate::blas1::dot(arow_i, arow_j);
-                c[i * ldc + j] += alpha * d;
-            }
-        }
-        ib = iend;
-    }
+    syrk_lower(alpha, a, k, lda, 0..m, c, ldc);
     // Mirror to the upper triangle.
     for i in 0..m {
         for j in i + 1..m {
@@ -117,9 +113,10 @@ pub fn syrk_into(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
 /// `rows.start` (leading dimension `ldc`). No mirroring is performed.
 ///
 /// This is the scatter unit of the pool-backed Gram kernels: disjoint row
-/// ranges touch disjoint panel slices, and each element `c[i][j]` receives
-/// exactly the same `dot(a_i, a_j)` the sequential [`syrk_slices`] computes,
-/// so triangular row-parallelism is bit-identical to the sequential kernel.
+/// ranges touch disjoint panel slices, and each element `c[i][j]` follows
+/// exactly the per-element recurrence the sequential [`syrk_slices`]
+/// computes (module docs), so triangular row-parallelism is bit-identical to
+/// the sequential kernel.
 pub fn syrk_rows_slices(
     alpha: f64,
     a: &[f64],
@@ -143,12 +140,124 @@ pub fn syrk_rows_slices(
         c_panel.len() >= (rows.end - 1 - row0) * ldc + rows.end,
         "syrk_rows: C panel too short"
     );
-    for i in rows {
-        let arow_i = &a[i * lda..i * lda + k];
-        let crow = &mut c_panel[(i - row0) * ldc..(i - row0) * ldc + i + 1];
-        for (j, cv) in crow.iter_mut().enumerate() {
-            let arow_j = &a[j * lda..j * lda + k];
-            *cv += alpha * crate::blas1::dot(arow_i, arow_j);
+    syrk_lower(alpha, a, k, lda, rows, c_panel, ldc);
+}
+
+/// Shared lower-triangle engine behind [`syrk_slices`] and
+/// [`syrk_rows_slices`]: accumulates rows `rows` of `alpha · A·Aᵀ`'s lower
+/// triangle into `c_panel` (first panel row = global row `rows.start`).
+///
+/// Small row ranges run a direct scalar loop; larger ones run the packed
+/// microkernel driver with `op(B) = Aᵀ` and triangle masking. Both realize
+/// the per-element recurrence from the module docs, so the cutover — like
+/// the SIMD tier and the block sizes — is invisible in the bits.
+fn syrk_lower(
+    alpha: f64,
+    a: &[f64],
+    k: usize,
+    lda: usize,
+    rows: Range<usize>,
+    c_panel: &mut [f64],
+    ldc: usize,
+) {
+    use crate::gemm::{DIRECT_WORK_MAX, KC, MC, NC};
+    let row0 = rows.start;
+    let m_end = rows.end;
+    if rows.is_empty() || k == 0 || alpha == 0.0 {
+        return;
+    }
+    // Lower-triangle multiply-add count for this row range.
+    let madds = (triangle_flops(m_end, k) - triangle_flops(row0, k)) / 2;
+    if madds as usize <= DIRECT_WORK_MAX {
+        for i in rows {
+            let arow_i = &a[i * lda..i * lda + k];
+            let crow = &mut c_panel[(i - row0) * ldc..(i - row0) * ldc + i + 1];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let arow_j = &a[j * lda..j * lda + k];
+                let mut acc = *cv;
+                for p in 0..k {
+                    acc += (alpha * arow_i[p]) * arow_j[p];
+                }
+                *cv = acc;
+            }
+        }
+        return;
+    }
+    let tier = crate::simd::current_tier();
+    let a_len = crate::pack::padded(MC.min(m_end - row0), crate::microkernel::MR) * KC.min(k);
+    let b_len = KC.min(k) * crate::pack::padded(NC.min(m_end), crate::microkernel::NR);
+    crate::pack::with_pack_buffers(a_len, b_len, |a_pack, b_pack| {
+        let mut jc = 0;
+        while jc < m_end {
+            let nb = NC.min(m_end - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kb = KC.min(k - pc);
+                // op(B) = Aᵀ: column j of the update is row j of A.
+                crate::pack::pack_b(b_pack, Transpose::Yes, a, lda, pc, kb, jc, nb);
+                let mut ic = row0;
+                while ic < m_end {
+                    let mb = MC.min(m_end - ic);
+                    // Skip row blocks that lie entirely above this column
+                    // block's diagonal intersection.
+                    if ic + mb > jc {
+                        crate::pack::pack_a(a_pack, Transpose::No, alpha, a, lda, ic, mb, pc, kb);
+                        crate::microkernel::block_kernel(
+                            tier,
+                            a_pack,
+                            b_pack,
+                            mb,
+                            nb,
+                            kb,
+                            &mut c_panel[(ic - row0) * ldc + jc..],
+                            ldc,
+                            Some((ic, jc)),
+                        );
+                    }
+                    ic += mb;
+                }
+                pc += kb;
+            }
+            jc += nb;
+        }
+    });
+}
+
+/// Executable statement of the SYRK determinism contract (lower triangle +
+/// mirror): [`syrk_slices`] must agree with this **bit for bit** on every
+/// input — enforced by the proptest battery.
+pub fn syrk_slices_reference(
+    alpha: f64,
+    a: &[f64],
+    m: usize,
+    k: usize,
+    lda: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for i in 0..m {
+        for j in 0..=i {
+            let mut acc = if beta == 0.0 {
+                0.0
+            } else if beta == 1.0 {
+                c[i * ldc + j]
+            } else {
+                beta * c[i * ldc + j]
+            };
+            if alpha != 0.0 {
+                for p in 0..k {
+                    acc += (alpha * a[i * lda + p]) * a[j * lda + p];
+                }
+            }
+            c[i * ldc + j] = acc;
+        }
+    }
+    // Mirror, exactly like the kernel (the kernel's pre-scaled upper
+    // triangle is overwritten here either way).
+    for i in 0..m {
+        for j in i + 1..m {
+            c[i * ldc + j] = c[j * ldc + i];
         }
     }
 }
@@ -183,7 +292,12 @@ pub fn triangular_scatter_mirror<F>(
 pub fn syrk_ctx(ctx: &ExecContext, a: &Matrix) -> Matrix {
     let m = a.rows();
     let k = a.cols();
-    let _span = tucker_obs::span!("syrk", m = m, k = k);
+    let _span = tucker_obs::span!(
+        "syrk",
+        m = m,
+        k = k,
+        tier = crate::simd::current_tier().id()
+    );
     let mut c = Matrix::zeros(m, m);
     let parts = ctx.partition_for_work(m, m * m * k / 2);
     if parts <= 1 {
@@ -278,6 +392,57 @@ mod tests {
             let par = par_syrk(&a, threads);
             for (x, y) in par.as_slice().iter().zip(seq.as_slice()) {
                 assert!((x - y).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_is_bitwise_equal_to_the_contract_reference() {
+        let mut rng = StdRng::seed_from_u64(14);
+        // Spans the direct/packed cutover and the MC/NC block edges.
+        for &(m, k) in &[(1usize, 1usize), (9, 7), (33, 20), (100, 60), (130, 257)] {
+            for &(alpha, beta) in &[(1.0, 0.0), (2.0, 0.5), (-0.3, 1.0)] {
+                let a = random_matrix(&mut rng, m, k);
+                let c0 = syrk(&random_matrix(&mut rng, m, 3)); // symmetric seed
+                let mut fast = c0.clone();
+                let mut ref_ = c0.clone();
+                syrk_slices(alpha, a.as_slice(), m, k, k, beta, fast.as_mut_slice(), m);
+                syrk_slices_reference(alpha, a.as_slice(), m, k, k, beta, ref_.as_mut_slice(), m);
+                let fb: Vec<u64> = fast.as_slice().iter().map(|v| v.to_bits()).collect();
+                let rb: Vec<u64> = ref_.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fb, rb, "m={m} k={k} α={alpha} β={beta}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_panels_are_bitwise_equal_to_the_full_kernel() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let (m, k) = (120usize, 70usize);
+        let a = random_matrix(&mut rng, m, k);
+        let mut full = Matrix::zeros(m, m);
+        syrk_slices(1.0, a.as_slice(), m, k, k, 0.0, full.as_mut_slice(), m);
+        // Rebuild the lower triangle from uneven panels.
+        let mut panels = Matrix::zeros(m, m);
+        for rows in [0..17usize, 17..64, 64..m] {
+            let row0 = rows.start;
+            syrk_rows_slices(
+                1.0,
+                a.as_slice(),
+                k,
+                k,
+                rows,
+                &mut panels.as_mut_slice()[row0 * m..],
+                m,
+            );
+        }
+        for i in 0..m {
+            for j in 0..=i {
+                assert_eq!(
+                    panels.get(i, j).to_bits(),
+                    full.get(i, j).to_bits(),
+                    "({i},{j})"
+                );
             }
         }
     }

@@ -1,12 +1,18 @@
-//! Determinism contract of the execution layer (ISSUE 3, `docs/ARCHITECTURE.md` §4).
+//! Determinism contract of the execution layer (ISSUE 3, renegotiated for the
+//! packed SIMD microkernels in ISSUE 8 — `docs/ARCHITECTURE.md` §4).
 //!
-//! Every kernel routed through `tucker-exec` partitions only *output* index
-//! space and keeps the sequential per-element accumulation order, so the
-//! decompositions must be **bit-identical** — not merely close — for every
-//! thread count: 1 thread, a small pool, and an oversubscribed pool (more
-//! threads than this machine has cores). These properties sweep random odd
-//! shapes and all modes through TTM, Gram, ST-HOSVD, and HOOI, comparing raw
-//! `f64` slices with exact equality.
+//! The contract is per output element: one running accumulator, seeded from
+//! the beta-scaled C, adding `fl(fl(alpha·a)·b)` terms in ascending
+//! contraction order, no FMA on any SIMD tier. Every kernel routed through
+//! `tucker-exec` partitions only *output* index space and preserves that
+//! recurrence, so the decompositions must be **bit-identical** — not merely
+//! close — for every thread count: 1 thread, a small pool, and an
+//! oversubscribed pool (more threads than this machine has cores). These
+//! properties sweep random odd shapes and all modes through TTM, Gram,
+//! ST-HOSVD, and HOOI, comparing raw `f64` slices with exact equality.
+//! (`crates/linalg/tests/microkernel.rs` pins the same recurrence per kernel
+//! and `tests/simd_tiers.rs` pins it across `TUCKER_SIMD` tiers; CI re-runs
+//! this suite under `TUCKER_SIMD=scalar` and `auto`.)
 
 use proptest::prelude::*;
 use tucker_core::hooi::HooiOptions;

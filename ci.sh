@@ -31,6 +31,16 @@ echo "== linalg + determinism suites (TUCKER_SIMD=auto) =="
 TUCKER_SIMD=auto cargo test -q -p tucker-linalg
 TUCKER_SIMD=auto cargo test -q --test determinism --test simd_tiers
 
+# The blocking contract (ISSUE 9) says MC/KC/NC only schedule the packed tile
+# grid — a TUCKER_BLOCK override must be invisible in the result bits, for
+# the raw kernels and for the blocked factorizations built on them. Re-run
+# the same suites under a deliberately tiny blocking so every tile-grid edge
+# case fires. (The in-process force_blocking sweeps inside `factorizations`/
+# `simd_tiers` additionally compare overridden runs against the default.)
+echo "== linalg + determinism suites (TUCKER_BLOCK=16,16,16) =="
+TUCKER_BLOCK=16,16,16 cargo test -q -p tucker-linalg
+TUCKER_BLOCK=16,16,16 cargo test -q --test determinism --test simd_tiers
+
 echo "== cargo test -q --test service (TUCKER_THREADS=1 and 4) =="
 # The daemon's concurrency suite under both pool shapes: 8-client
 # byte-identity, graceful-shutdown drain, typed-Busy backpressure, and
@@ -93,7 +103,7 @@ for f in crates/api/src/lib.rs crates/api/src/error.rs \
          crates/serve/src/metrics.rs crates/obs/src/lib.rs \
          crates/obs/src/metrics.rs crates/obs/src/trace.rs \
          crates/linalg/src/pack.rs crates/linalg/src/microkernel.rs \
-         crates/linalg/src/simd.rs; do
+         crates/linalg/src/simd.rs crates/linalg/src/blocking.rs; do
   if [ ! -f "$f" ]; then
     echo "panic-grep gate: fallible-surface file $f is missing (renamed? update ci.sh)"
     gate_ok=0

@@ -48,21 +48,10 @@ impl Transpose {
     }
 }
 
-/// Cache-block edge sizes for the packed microkernel driver: C is tiled
-/// `MC × NC`, the contraction dimension is cut into `KC` slabs. `MC` is a
-/// multiple of [`crate::microkernel::MR`] and `NC` of
-/// [`crate::microkernel::NR`]. The values are **performance tuning only** —
-/// the per-element accumulation contract makes the result bits independent
-/// of them.
-pub(crate) const MC: usize = 96;
-pub(crate) const KC: usize = 256;
-pub(crate) const NC: usize = 512;
-
 /// Multiply-add count at or below which [`gemm_slices`] skips panel packing
-/// and runs the direct scalar loop (same bits, less setup): the fused TTM
-/// interior and lazy-reader paths issue streams of tiny GEMMs that would
-/// otherwise spend more time packing than multiplying.
-pub(crate) const DIRECT_WORK_MAX: usize = 8 * 1024;
+/// and runs the direct scalar loop (same bits, less setup) — the shared
+/// workspace-wide threshold, re-exported under the historical local name.
+pub(crate) use crate::blocking::SMALL_PROBLEM_MADDS as DIRECT_WORK_MAX;
 
 /// Computes `C ← alpha · op(A) · op(B) + beta · C` on raw row-major slices.
 ///
@@ -183,10 +172,11 @@ fn gemm_direct(
     }
 }
 
-/// Packed, cache-blocked microkernel driver: `jc` (NC columns) → `pc` (KC
-/// contraction slab) → `ic` (MC rows), with op(A)/op(B) blocks packed into
+/// Packed, cache-blocked microkernel driver: `jc` (nc columns) → `pc` (kc
+/// contraction slab) → `ic` (mc rows), with op(A)/op(B) blocks packed into
 /// 64-byte-aligned thread-local buffers and the tile grid retired by the
-/// runtime-selected SIMD tier ([`crate::simd`]).
+/// runtime-selected SIMD tier ([`crate::simd`]). The block edges come from
+/// the runtime-derived [`crate::blocking::current_blocking`].
 ///
 /// For any fixed output element, the `pc` slabs arrive in ascending order
 /// and each slab's microkernel accumulates its terms in ascending order from
@@ -208,19 +198,20 @@ fn gemm_blocked(
     k: usize,
 ) {
     let tier = crate::simd::current_tier();
-    let a_len = crate::pack::padded(MC.min(m), crate::microkernel::MR) * KC.min(k);
-    let b_len = KC.min(k) * crate::pack::padded(NC.min(n), crate::microkernel::NR);
+    let blk = crate::blocking::current_blocking();
+    let a_len = crate::pack::padded(blk.mc.min(m), crate::microkernel::MR) * blk.kc.min(k);
+    let b_len = blk.kc.min(k) * crate::pack::padded(blk.nc.min(n), crate::microkernel::NR);
     crate::pack::with_pack_buffers(a_len, b_len, |a_pack, b_pack| {
         let mut jc = 0;
         while jc < n {
-            let nb = NC.min(n - jc);
+            let nb = blk.nc.min(n - jc);
             let mut pc = 0;
             while pc < k {
-                let kb = KC.min(k - pc);
+                let kb = blk.kc.min(k - pc);
                 crate::pack::pack_b(b_pack, tb, b, ldb, pc, kb, jc, nb);
                 let mut ic = 0;
                 while ic < m {
-                    let mb = MC.min(m - ic);
+                    let mb = blk.mc.min(m - ic);
                     crate::pack::pack_a(a_pack, ta, alpha, a, lda, ic, mb, pc, kb);
                     crate::microkernel::block_kernel(
                         tier,
@@ -379,15 +370,16 @@ pub fn gemm_slices_ctx(
     // Only trace pool-worthy products; the fused TTM interior calls the
     // sequential kernel directly, so tiny GEMMs never flood the trace.
     let _span = if work >= PAR_MIN_WORK {
+        let blk = crate::blocking::current_blocking();
         Some(tucker_obs::span!(
             "gemm",
             m = m,
             n = n,
             k = k,
             tier = crate::simd::current_tier().id(),
-            mc = MC,
-            kc = KC,
-            nc = NC
+            mc = blk.mc,
+            kc = blk.kc,
+            nc = blk.nc
         ))
     } else {
         None
@@ -813,14 +805,16 @@ mod tests {
 
     #[test]
     fn blocked_kernel_is_bitwise_equal_to_the_contract_reference() {
-        // Shapes straddle the direct/packed cutover and the MC/KC/NC block
+        // Shapes straddle the direct/packed cutover and the mc/kc/nc block
         // edges; the contract makes the path choice invisible bit-for-bit.
         let mut rng = StdRng::seed_from_u64(50);
+        let blk = crate::blocking::current_blocking();
         for &(m, k, n) in &[
             (1usize, 1usize, 1usize),
-            (7, 9, 5),                // direct path
-            (20, 21, 20),             // just above DIRECT_WORK_MAX
-            (MC + 3, KC + 5, NC / 4), // crosses MC and KC edges
+            (7, 9, 5),    // direct path
+            (20, 21, 20), // just above DIRECT_WORK_MAX
+            // Crosses the runtime mc and kc block edges.
+            (blk.mc + 3, blk.kc + 5, (blk.nc / 4).max(16)),
             (97, 31, 130),
         ] {
             for &ta in &[Transpose::No, Transpose::Yes] {

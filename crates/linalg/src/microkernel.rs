@@ -2,14 +2,15 @@
 //!
 //! One microkernel invocation updates an `MR × NR` tile of C from an
 //! `MR`-row packed A panel and an `NR`-column packed B panel (layouts in
-//! [`crate::pack`]). Three tiers share one accumulation contract:
+//! [`crate::pack`]). Four tiers share one accumulation contract:
 //!
 //! * **every** output element is a single running sum, seeded from the
 //!   (already beta-scaled) C value, adding `fl(fl(alpha·a) · b)` terms in
 //!   ascending contraction order (`alpha` folded in at pack time);
 //! * **no** fused multiply-add — each term is an IEEE-754 multiply followed
-//!   by an IEEE-754 add, on every tier. SSE2/AVX2 lanes hold independent
-//!   per-element accumulators, so vector width never reassociates anything.
+//!   by an IEEE-754 add, on every tier. SSE2/AVX2/AVX-512 lanes hold
+//!   independent per-element accumulators, so vector width never
+//!   reassociates anything.
 //!
 //! Under that contract the tier, the tile shape, and the cache-block sizes
 //! are all invisible in the result bits — which is what lets `TUCKER_SIMD`
@@ -33,6 +34,8 @@ pub const MR: usize = 8;
 /// Microkernel tile columns (B-panel interleave width).
 pub const NR: usize = 4;
 
+/// Full `MR × NR` tiles retired by the AVX-512 kernel (process-wide).
+pub static TILES_AVX512: Counter = Counter::new("linalg.kernel.tiles.avx512");
 /// Full `MR × NR` tiles retired by the AVX2 kernel (process-wide).
 pub static TILES_AVX2: Counter = Counter::new("linalg.kernel.tiles.avx2");
 /// Full `MR × NR` tiles retired by the SSE2 kernel (process-wide).
@@ -50,6 +53,13 @@ pub static TILES_EDGE: Counter = Counter::new("linalg.kernel.tiles.edge");
 #[inline]
 pub fn ukr_full(tier: SimdTier, kb: usize, a: &[f64], b: &[f64], c: &mut [f64], ldc: usize) {
     match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx512 => {
+            // Safety: `force_tier`/`current_tier` only ever yield Avx512 when
+            // `is_x86_feature_detected!("avx512f")` held; bounds per the doc
+            // contract above.
+            unsafe { ukr_full_avx512(kb, a, b, c, ldc) }
+        }
         #[cfg(target_arch = "x86_64")]
         SimdTier::Avx2 => {
             // Safety: `force_tier`/`current_tier` only ever yield Avx2 when
@@ -152,6 +162,54 @@ unsafe fn ukr_full_avx2(kb: usize, a: &[f64], b: &[f64], c: &mut [f64], ldc: usi
     }
 }
 
+/// AVX-512F tier: the tile's 8 rows ride in 4 zmm accumulators, two rows per
+/// register (lane `l` of pair `i` holds `C[2i + l/4][l mod 4]`). Per step:
+/// one 8-wide load of the A column, one 256→512 broadcast of the B row, then
+/// per pair a lane permute (`vpermpd`) and `vmulpd` + `vaddpd` — deliberately
+/// **not** `vfmadd`. Every lane is still one independent per-element
+/// accumulator fed multiply-then-add, so the bits match the other tiers by
+/// construction.
+///
+/// # Safety
+/// Caller upholds the `ukr_full` bounds contract and has verified AVX-512F
+/// support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn ukr_full_avx512(kb: usize, a: &[f64], b: &[f64], c: &mut [f64], ldc: usize) {
+    use std::arch::x86_64::*;
+    // Lane sources inside the 8-wide A column for each row pair.
+    let idx = [
+        _mm512_setr_epi64(0, 0, 0, 0, 1, 1, 1, 1),
+        _mm512_setr_epi64(2, 2, 2, 2, 3, 3, 3, 3),
+        _mm512_setr_epi64(4, 4, 4, 4, 5, 5, 5, 5),
+        _mm512_setr_epi64(6, 6, 6, 6, 7, 7, 7, 7),
+    ];
+    let mut acc = [_mm512_setzero_pd(); MR / 2];
+    for (i, pair) in acc.iter_mut().enumerate() {
+        let lo = _mm256_loadu_pd(c.as_ptr().add(2 * i * ldc));
+        let hi = _mm256_loadu_pd(c.as_ptr().add((2 * i + 1) * ldc));
+        *pair = _mm512_insertf64x4::<1>(_mm512_castpd256_pd512(lo), hi);
+    }
+    for p in 0..kb {
+        let acol = _mm512_loadu_pd(a.as_ptr().add(p * MR));
+        let bv = _mm512_broadcast_f64x4(_mm256_loadu_pd(b.as_ptr().add(p * NR)));
+        for (pair, ix) in acc.iter_mut().zip(idx) {
+            let av = _mm512_permutexvar_pd(ix, acol);
+            *pair = _mm512_add_pd(*pair, _mm512_mul_pd(av, bv));
+        }
+    }
+    for (i, pair) in acc.iter().enumerate() {
+        _mm256_storeu_pd(
+            c.as_mut_ptr().add(2 * i * ldc),
+            _mm512_extractf64x4_pd::<0>(*pair),
+        );
+        _mm256_storeu_pd(
+            c.as_mut_ptr().add((2 * i + 1) * ldc),
+            _mm512_extractf64x4_pd::<1>(*pair),
+        );
+    }
+}
+
 /// Scalar edge kernel for ragged and triangle-masked tiles: `mr × nr`
 /// (`mr ≤ MR`, `nr ≤ NR`) live elements, same per-element recurrence as
 /// [`ukr_full`].
@@ -251,6 +309,7 @@ pub fn block_kernel(
 fn record_tiles(tier: SimdTier, full: u64, edge: u64) {
     if full > 0 {
         match tier {
+            SimdTier::Avx512 => TILES_AVX512.add(full),
             SimdTier::Avx2 => TILES_AVX2.add(full),
             SimdTier::Sse2 => TILES_SSE2.add(full),
             SimdTier::Scalar => TILES_SCALAR.add(full),

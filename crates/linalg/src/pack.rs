@@ -168,18 +168,38 @@ pub fn with_pack_buffers<R>(
     b_len: usize,
     f: impl FnOnce(&mut [f64], &mut [f64]) -> R,
 ) -> R {
-    let (mut a, mut b) = PACK_WS.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut ws) => (ws.take_aligned(a_len), ws.take_aligned(b_len)),
+    with_scratch([a_len, b_len], |[a, b]| f(a, b))
+}
+
+/// Runs `f` with `N` 64-byte-aligned scratch buffers of the requested
+/// lengths, recycled through the same thread-local [`Workspace`] as the pack
+/// buffers. The blocked factorizations ([`crate::qr`], [`crate::eig`],
+/// [`crate::svd`]) route their panel/accumulator storage through this instead
+/// of allocating per call.
+///
+/// Contents are unspecified on entry (stale values from earlier takes);
+/// callers must write every element they read back. The buffers are taken
+/// *out* of the pool before `f` runs, so kernels invoked from inside `f`
+/// (GEMM packing, nested factorizations) can take their own buffers without
+/// aliasing these. A re-entrant call that catches the pool mid-borrow falls
+/// back to fresh single-use buffers.
+pub fn with_scratch<const N: usize, R>(
+    lens: [usize; N],
+    f: impl FnOnce([&mut [f64]; N]) -> R,
+) -> R {
+    let mut bufs: [tucker_exec::AlignedBuf; N] = PACK_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => std::array::from_fn(|i| ws.take_aligned(lens[i])),
         Err(_) => {
             let mut fresh = Workspace::new();
-            (fresh.take_aligned(a_len), fresh.take_aligned(b_len))
+            std::array::from_fn(|i| fresh.take_aligned(lens[i]))
         }
     });
-    let result = f(a.as_mut_slice(), b.as_mut_slice());
+    let result = f(bufs.each_mut().map(|b| b.as_mut_slice()));
     PACK_WS.with(|cell| {
         if let Ok(mut ws) = cell.try_borrow_mut() {
-            ws.give_aligned(a);
-            ws.give_aligned(b);
+            for b in bufs {
+                ws.give_aligned(b);
+            }
         }
     });
     result
@@ -291,6 +311,24 @@ mod tests {
                 assert_eq!(ia.len(), 64);
                 assert_eq!(ib.len(), 64);
             });
+        });
+    }
+
+    #[test]
+    fn with_scratch_hands_out_disjoint_aligned_buffers() {
+        with_scratch([16usize, 32, 48], |[a, b, c]| {
+            assert_eq!(a.len(), 16);
+            assert_eq!(b.len(), 32);
+            assert_eq!(c.len(), 48);
+            for s in [&*a, &*b, &*c] {
+                assert_eq!(s.as_ptr() as usize % tucker_exec::BUFFER_ALIGN, 0);
+            }
+            a.fill(1.0);
+            b.fill(2.0);
+            c.fill(3.0);
+            assert!(a.iter().all(|&x| x == 1.0));
+            assert!(b.iter().all(|&x| x == 2.0));
+            assert!(c.iter().all(|&x| x == 3.0));
         });
     }
 

@@ -1,14 +1,14 @@
 //! Runtime SIMD tier selection for the packed GEMM/SYRK microkernels.
 //!
-//! The microkernels ([`crate::microkernel`]) are compiled in three tiers —
-//! AVX2, SSE2, and portable scalar — and the tier is chosen **once per
-//! process** at runtime:
+//! The microkernels ([`crate::microkernel`]) are compiled in four tiers —
+//! AVX-512, AVX2, SSE2, and portable scalar — and the tier is chosen **once
+//! per process** at runtime:
 //!
-//! 1. `TUCKER_SIMD={auto,avx2,sse2,scalar}` requests a tier explicitly
-//!    (`auto` and unset mean "best supported").
+//! 1. `TUCKER_SIMD={auto,avx512,avx2,sse2,scalar}` requests a tier
+//!    explicitly (`auto` and unset mean "best supported").
 //! 2. The request is clamped to what the CPU supports
-//!    (`is_x86_feature_detected!("avx2")`; SSE2 is part of the `x86_64`
-//!    baseline; non-x86 targets always run scalar). A request the host
+//!    (`is_x86_feature_detected!("avx512f")` / `("avx2")`; SSE2 is part of
+//!    the `x86_64` baseline; non-x86 targets always run scalar). A request the host
 //!    cannot honor falls back to the best supported tier with a one-time
 //!    warning on stderr — it never aborts, so the fallback tiers stay
 //!    testable on any machine.
@@ -36,6 +36,10 @@ pub enum SimdTier {
     Sse2 = 2,
     /// 256-bit AVX2 (runtime-detected).
     Avx2 = 3,
+    /// 512-bit AVX-512F (runtime-detected). Still no FMA — wider registers
+    /// only hold more independent per-element accumulators, so the bits
+    /// match the other tiers by construction.
+    Avx512 = 4,
 }
 
 impl SimdTier {
@@ -45,6 +49,7 @@ impl SimdTier {
             SimdTier::Scalar => "scalar",
             SimdTier::Sse2 => "sse2",
             SimdTier::Avx2 => "avx2",
+            SimdTier::Avx512 => "avx512",
         }
     }
 
@@ -62,6 +67,7 @@ fn tier_from_u8(v: u8) -> Option<SimdTier> {
         1 => Some(SimdTier::Scalar),
         2 => Some(SimdTier::Sse2),
         3 => Some(SimdTier::Avx2),
+        4 => Some(SimdTier::Avx512),
         _ => None,
     }
 }
@@ -70,7 +76,9 @@ fn tier_from_u8(v: u8) -> Option<SimdTier> {
 pub fn detected_tier() -> SimdTier {
     #[cfg(target_arch = "x86_64")]
     {
-        if std::arch::is_x86_feature_detected!("avx2") {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            SimdTier::Avx512
+        } else if std::arch::is_x86_feature_detected!("avx2") {
             SimdTier::Avx2
         } else {
             // SSE2 is part of the x86_64 baseline — always present.
@@ -95,10 +103,11 @@ fn select_from_env() -> SimdTier {
         "scalar" => SimdTier::Scalar,
         "sse2" => SimdTier::Sse2,
         "avx2" => SimdTier::Avx2,
+        "avx512" => SimdTier::Avx512,
         other => {
             eprintln!(
                 "tucker-linalg: TUCKER_SIMD={other:?} is not one of \
-                 auto/avx2/sse2/scalar; using {}",
+                 auto/avx512/avx2/sse2/scalar; using {}",
                 supported.name()
             );
             supported
@@ -149,10 +158,15 @@ pub fn force_tier(tier: SimdTier) -> bool {
 /// set for cross-tier bit-equality tests.
 pub fn supported_tiers() -> Vec<SimdTier> {
     let max = detected_tier();
-    [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2]
-        .into_iter()
-        .filter(|&t| t <= max)
-        .collect()
+    [
+        SimdTier::Scalar,
+        SimdTier::Sse2,
+        SimdTier::Avx2,
+        SimdTier::Avx512,
+    ]
+    .into_iter()
+    .filter(|&t| t <= max)
+    .collect()
 }
 
 #[cfg(test)]
@@ -188,9 +202,14 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for t in [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2] {
+        for t in [
+            SimdTier::Scalar,
+            SimdTier::Sse2,
+            SimdTier::Avx2,
+            SimdTier::Avx512,
+        ] {
             assert!(!t.name().is_empty());
-            assert!(t.id() >= 1 && t.id() <= 3);
+            assert!(t.id() >= 1 && t.id() <= 4);
             assert_eq!(tier_from_u8(t.id()), Some(t));
         }
         assert_eq!(tier_from_u8(0), None);

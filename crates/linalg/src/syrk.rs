@@ -160,7 +160,7 @@ fn syrk_lower(
     c_panel: &mut [f64],
     ldc: usize,
 ) {
-    use crate::gemm::{DIRECT_WORK_MAX, KC, MC, NC};
+    use crate::blocking::SMALL_PROBLEM_MADDS;
     let row0 = rows.start;
     let m_end = rows.end;
     if rows.is_empty() || k == 0 || alpha == 0.0 {
@@ -168,7 +168,7 @@ fn syrk_lower(
     }
     // Lower-triangle multiply-add count for this row range.
     let madds = (triangle_flops(m_end, k) - triangle_flops(row0, k)) / 2;
-    if madds as usize <= DIRECT_WORK_MAX {
+    if madds as usize <= SMALL_PROBLEM_MADDS {
         for i in rows {
             let arow_i = &a[i * lda..i * lda + k];
             let crow = &mut c_panel[(i - row0) * ldc..(i - row0) * ldc + i + 1];
@@ -184,20 +184,22 @@ fn syrk_lower(
         return;
     }
     let tier = crate::simd::current_tier();
-    let a_len = crate::pack::padded(MC.min(m_end - row0), crate::microkernel::MR) * KC.min(k);
-    let b_len = KC.min(k) * crate::pack::padded(NC.min(m_end), crate::microkernel::NR);
+    let blk = crate::blocking::current_blocking();
+    let a_len =
+        crate::pack::padded(blk.mc.min(m_end - row0), crate::microkernel::MR) * blk.kc.min(k);
+    let b_len = blk.kc.min(k) * crate::pack::padded(blk.nc.min(m_end), crate::microkernel::NR);
     crate::pack::with_pack_buffers(a_len, b_len, |a_pack, b_pack| {
         let mut jc = 0;
         while jc < m_end {
-            let nb = NC.min(m_end - jc);
+            let nb = blk.nc.min(m_end - jc);
             let mut pc = 0;
             while pc < k {
-                let kb = KC.min(k - pc);
+                let kb = blk.kc.min(k - pc);
                 // op(B) = Aᵀ: column j of the update is row j of A.
                 crate::pack::pack_b(b_pack, Transpose::Yes, a, lda, pc, kb, jc, nb);
                 let mut ic = row0;
                 while ic < m_end {
-                    let mb = MC.min(m_end - ic);
+                    let mb = blk.mc.min(m_end - ic);
                     // Skip row blocks that lie entirely above this column
                     // block's diagonal intersection.
                     if ic + mb > jc {

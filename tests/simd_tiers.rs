@@ -16,6 +16,7 @@ use std::sync::Mutex;
 use tucker_core::st_hosvd_ctx;
 use tucker_core::sthosvd::SthosvdOptions;
 use tucker_exec::ExecContext;
+use tucker_linalg::blocking::{force_blocking, Blocking};
 use tucker_linalg::simd::{detected_tier, force_tier, supported_tiers, SimdTier};
 use tucker_store::{write_tucker_ctx, Codec, StoreOptions};
 use tucker_tensor::{gram_ctx, DenseTensor};
@@ -129,4 +130,42 @@ fn artifacts_are_byte_identical_across_simd_tiers() {
         }
     }
     force_tier(detected_tier());
+}
+
+/// `MC/KC/NC` only schedule the packed tile grid — a `TUCKER_BLOCK` override
+/// (here forced in-process) must leave `.tkr` artifact bytes untouched.
+#[test]
+fn artifacts_are_byte_identical_across_blocking_overrides() {
+    let _g = tier_guard();
+    let x = test_tensor();
+    let eps = 1e-3;
+    let sth = SthosvdOptions::with_tolerance(eps);
+    let pid = std::process::id();
+    let tmp = |tag: &str| std::env::temp_dir().join(format!("simd_tiers_{pid}_blk_{tag}.tkr"));
+
+    let write = |tag: &str, threads: usize| -> Vec<u8> {
+        let ctx = ExecContext::new(threads);
+        let path = tmp(tag);
+        let r = st_hosvd_ctx(&x, &sth, &ctx);
+        write_tucker_ctx(&path, &r.tucker, &StoreOptions::new(Codec::F64, eps), &ctx).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        bytes
+    };
+
+    let baseline_bytes = write("default", 1);
+    let shrunken = Blocking {
+        mc: 16,
+        kc: 16,
+        nc: 16,
+    };
+    let prev = force_blocking(shrunken);
+    for threads in [1usize, 4] {
+        let bytes = write(&format!("shrunken_t{threads}"), threads);
+        assert_eq!(
+            bytes, baseline_bytes,
+            "artifact bytes diverged under shrunken blocking, threads {threads}"
+        );
+    }
+    force_blocking(prev);
 }

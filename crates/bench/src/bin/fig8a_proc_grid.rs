@@ -27,6 +27,7 @@ fn main() {
         "Fig. 8a — ST-HOSVD time vs processor grid (measured: {:?} -> {:?}, P = {p})\n",
         dims, ranks
     );
+    println!("{}\n", tucker_bench::transport_banner());
     let grids: Vec<Vec<usize>> = ProcGrid::enumerate_grids(p, 4)
         .into_iter()
         .filter(|g| g.iter().zip(ranks.iter()).all(|(&pg, &r)| pg <= r))

@@ -26,6 +26,7 @@ fn main() {
         "Fig. 8b — ST-HOSVD time vs mode order (measured: {:?} -> {:?}, grid {:?})\n",
         dims, ranks, grid
     );
+    println!("{}\n", tucker_bench::transport_banner());
 
     let orders = all_orders(4);
     let widths = [16usize, 12, 12, 12, 12, 12];

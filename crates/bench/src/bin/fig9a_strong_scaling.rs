@@ -29,6 +29,7 @@ fn main() {
         "Fig. 9a (measured, simulated runtime) — {:?} -> {:?}\n",
         dims, ranks
     );
+    println!("{}\n", tucker_bench::transport_banner());
     let widths = [16usize, 8, 12, 16, 16];
     print_header(
         &["grid", "P", "time (s)", "words moved", "flops/rank"],

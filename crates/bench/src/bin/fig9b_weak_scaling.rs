@@ -20,6 +20,7 @@ fn main() {
     // Measured part: per-rank block held at 12^4 while the grid grows.
     // ------------------------------------------------------------------
     println!("Fig. 9b (measured, simulated runtime) — constant 12^4 data per rank\n");
+    println!("{}\n", tucker_bench::transport_banner());
     let widths = [16usize, 8, 14, 18, 18];
     print_header(&["grid", "P", "dims", "words moved", "flops/rank"], &widths);
     let mut per_rank_flops = Vec::new();

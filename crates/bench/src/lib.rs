@@ -9,8 +9,8 @@
 use std::time::Instant;
 use tucker_core::dist::{dist_st_hosvd, DistTensor, KernelTimings};
 use tucker_core::sthosvd::SthosvdOptions;
-use tucker_distmem::runtime::spmd_with_grid_handle;
 use tucker_distmem::{CostModel, MachineParams, ProcGrid, StatsSnapshot};
+use tucker_net::{spmd_transport, transport_from_env, TransportKind};
 use tucker_tensor::DenseTensor;
 
 /// Prints a fixed-width table row.
@@ -43,7 +43,8 @@ pub fn st_hosvd_flops(dims: &[usize], ranks: &[usize], order: &[usize]) -> f64 {
     model.st_hosvd(dims, ranks, order).flops
 }
 
-/// The outcome of one distributed ST-HOSVD run on the simulated runtime.
+/// The outcome of one distributed ST-HOSVD run (in-process threads or, with
+/// `TUCKER_TRANSPORT=tcp`, real spawned processes over the TCP mesh).
 #[derive(Debug, Clone)]
 pub struct DistRunReport {
     /// The processor grid used.
@@ -56,6 +57,8 @@ pub struct DistRunReport {
     pub comm: StatsSnapshot,
     /// The ranks the run selected.
     pub ranks: Vec<usize>,
+    /// Which backend carried the messages (`"inproc"` / `"tcp"`).
+    pub transport: &'static str,
 }
 
 impl DistRunReport {
@@ -65,18 +68,44 @@ impl DistRunReport {
     }
 }
 
+/// The transport the harness binaries run their SPMD regions on, from
+/// `TUCKER_TRANSPORT` (default in-process threads).
+pub fn bench_transport() -> TransportKind {
+    transport_from_env()
+}
+
+/// One banner line for the harness binaries: which backend, how selected.
+pub fn transport_banner() -> String {
+    match bench_transport() {
+        TransportKind::InProc => {
+            "transport: inproc (threads; TUCKER_TRANSPORT=tcp for real processes)".to_string()
+        }
+        TransportKind::Tcp => format!(
+            "transport: tcp (spawned processes, TUCKER_RANKS={})",
+            tucker_net::env_ranks()
+        ),
+    }
+}
+
 /// Runs the distributed ST-HOSVD of `data` on the given grid and reports
 /// timings and communication volume. The tensor is replicated per rank for
 /// block extraction (fine at harness scales).
+///
+/// With `TUCKER_TRANSPORT=tcp` the ranks are spawned worker processes of the
+/// current binary, wired into a loopback TCP mesh: the report's `comm` then
+/// carries non-zero `wire_bytes_*`, and `elapsed` includes real socket time.
+/// Results are bit-identical across backends (ARCHITECTURE §10).
 pub fn run_dist_sthosvd(
     data: &DenseTensor,
     grid_shape: &[usize],
     opts: &SthosvdOptions,
 ) -> DistRunReport {
+    let kind = bench_transport();
     let grid = ProcGrid::new(grid_shape);
+    let exec_args: Vec<String> = std::env::args().skip(1).collect();
     let data = data.clone();
     let opts = opts.clone();
-    let handle = spmd_with_grid_handle(grid, move |comm| {
+    let handle = spmd_transport(kind, "dist_sthosvd", grid, &exec_args, move |comm| {
         let dx = DistTensor::from_global(&comm, &data);
         let result = dist_st_hosvd(&comm, &dx, &opts);
         (result.ranks.clone(), result.timings.clone())
@@ -94,6 +123,7 @@ pub fn run_dist_sthosvd(
         timings,
         comm: handle.total_stats(),
         ranks: handle.results[0].0.clone(),
+        transport: kind.label(),
     }
 }
 

@@ -230,6 +230,27 @@ impl KernelTimings {
     }
 }
 
+// Kernel timings cross process boundaries when an SPMD region runs on the
+// multi-process TCP backend (`tucker-net` ships each rank's closure result
+// through the region result table), so they get an exact wire encoding.
+impl tucker_distmem::Wire for KernelTimings {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.gram.encode(out);
+        self.evecs.encode(out);
+        self.ttm.encode(out);
+        self.thread_budget.encode(out);
+    }
+
+    fn decode(r: &mut tucker_distmem::WireReader<'_>) -> Result<Self, tucker_distmem::WireError> {
+        Ok(KernelTimings {
+            gram: Vec::<f64>::decode(r)?,
+            evecs: Vec::<f64>::decode(r)?,
+            ttm: Vec::<f64>::decode(r)?,
+            thread_budget: usize::decode(r)?,
+        })
+    }
+}
+
 /// Result of [`dist_st_hosvd`] on one rank.
 #[derive(Debug, Clone)]
 pub struct DistSthosvdResult {

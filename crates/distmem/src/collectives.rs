@@ -13,12 +13,40 @@
 //!
 //! All reductions are elementwise sums over `f64`, the only reduction the
 //! Tucker algorithms need.
+//!
+//! Every public collective records its wall-clock latency in a process-wide
+//! `tucker-obs` histogram (`distmem.<collective>.us`). The collectives are
+//! transport-agnostic, so on the in-process backend these histograms measure
+//! channel/switching overhead, while on the TCP backend they are the paper's
+//! per-collective α-β terms measured against *real sockets* — the
+//! `table7_transport` gate prints them side by side.
 
 use crate::subcomm::SubCommunicator;
+use tucker_obs::metrics::Histogram;
+
+static BROADCAST_US: Histogram = Histogram::new("distmem.broadcast.us");
+static REDUCE_US: Histogram = Histogram::new("distmem.reduce.us");
+static ALL_GATHER_US: Histogram = Histogram::new("distmem.all_gather.us");
+static REDUCE_SCATTER_US: Histogram = Histogram::new("distmem.reduce_scatter.us");
+static ALL_REDUCE_US: Histogram = Histogram::new("distmem.all_reduce.us");
+static GATHER_US: Histogram = Histogram::new("distmem.gather.us");
+static SCATTER_US: Histogram = Histogram::new("distmem.scatter.us");
+
+/// Runs `f`, recording its wall-clock latency in `hist`.
+fn timed<T>(hist: &Histogram, f: impl FnOnce() -> T) -> T {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    hist.observe(t0.elapsed());
+    out
+}
 
 /// Broadcasts `data` from group position `root` to all members; every member
 /// returns the full buffer.
 pub fn broadcast(group: &SubCommunicator<'_>, root: usize, data: &[f64]) -> Vec<f64> {
+    timed(&BROADCAST_US, || broadcast_inner(group, root, data))
+}
+
+fn broadcast_inner(group: &SubCommunicator<'_>, root: usize, data: &[f64]) -> Vec<f64> {
     group.note_collective();
     let p = group.size();
     assert!(root < p, "broadcast: root {root} out of range");
@@ -56,6 +84,10 @@ pub fn broadcast(group: &SubCommunicator<'_>, root: usize, data: &[f64]) -> Vec<
 /// member at group position `root`. The root returns the sum; other members
 /// return `None`.
 pub fn reduce(group: &SubCommunicator<'_>, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+    timed(&REDUCE_US, || reduce_inner(group, root, data))
+}
+
+fn reduce_inner(group: &SubCommunicator<'_>, root: usize, data: &[f64]) -> Option<Vec<f64>> {
     group.note_collective();
     let p = group.size();
     assert!(root < p, "reduce: root {root} out of range");
@@ -110,6 +142,10 @@ fn chunk_range(total: usize, parts: usize, idx: usize) -> (usize, usize) {
 /// Ring all-gather: every member contributes `data` and receives the
 /// concatenation of all contributions in group order.
 pub fn all_gather(group: &SubCommunicator<'_>, data: &[f64]) -> Vec<f64> {
+    timed(&ALL_GATHER_US, || all_gather_inner(group, data))
+}
+
+fn all_gather_inner(group: &SubCommunicator<'_>, data: &[f64]) -> Vec<f64> {
     group.note_collective();
     let p = group.size();
     if p == 1 {
@@ -190,6 +226,16 @@ pub fn reduce_scatter_blocks(
     data: &[f64],
     counts: &[usize],
 ) -> Vec<f64> {
+    timed(&REDUCE_SCATTER_US, || {
+        reduce_scatter_blocks_inner(group, data, counts)
+    })
+}
+
+fn reduce_scatter_blocks_inner(
+    group: &SubCommunicator<'_>,
+    data: &[f64],
+    counts: &[usize],
+) -> Vec<f64> {
     group.note_collective();
     let p = group.size();
     assert_eq!(
@@ -249,18 +295,24 @@ pub fn reduce_scatter_blocks(
 /// Implemented as reduce-scatter + all-gather, which is the bandwidth-optimal
 /// composition whose cost appears in Tab. I of the paper.
 pub fn all_reduce(group: &SubCommunicator<'_>, data: &[f64]) -> Vec<f64> {
-    group.note_collective();
-    let p = group.size();
-    if p == 1 {
-        return data.to_vec();
-    }
-    let my_chunk = reduce_scatter(group, data);
-    all_gather(group, &my_chunk)
+    timed(&ALL_REDUCE_US, || {
+        group.note_collective();
+        let p = group.size();
+        if p == 1 {
+            return data.to_vec();
+        }
+        let my_chunk = reduce_scatter(group, data);
+        all_gather(group, &my_chunk)
+    })
 }
 
 /// Gathers every member's buffer onto the root (group position `root`), which
 /// returns the concatenation in group order; other members return `None`.
 pub fn gather(group: &SubCommunicator<'_>, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+    timed(&GATHER_US, || gather_inner(group, root, data))
+}
+
+fn gather_inner(group: &SubCommunicator<'_>, root: usize, data: &[f64]) -> Option<Vec<f64>> {
     group.note_collective();
     let p = group.size();
     if p == 1 {
@@ -284,6 +336,10 @@ pub fn gather(group: &SubCommunicator<'_>, root: usize, data: &[f64]) -> Option<
 /// Scatters near-equal contiguous chunks of the root's buffer to every member;
 /// each member returns its chunk.
 pub fn scatter(group: &SubCommunicator<'_>, root: usize, data: Option<&[f64]>) -> Vec<f64> {
+    timed(&SCATTER_US, || scatter_inner(group, root, data))
+}
+
+fn scatter_inner(group: &SubCommunicator<'_>, root: usize, data: Option<&[f64]>) -> Vec<f64> {
     group.note_collective();
     let p = group.size();
     if p == 1 {

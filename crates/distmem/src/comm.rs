@@ -1,73 +1,75 @@
-//! Point-to-point communicator between simulated ranks.
+//! Point-to-point communicator between ranks.
 //!
-//! A [`Communicator`] is handed to each rank by [`crate::runtime::spmd`]. It
-//! owns one unbounded channel endpoint per peer in each direction, so
+//! A [`Communicator`] is handed to each rank by [`crate::runtime::spmd`] (or
+//! by `tucker-net`'s multi-process launcher). It wraps a boxed
+//! [`Transport`] — the in-process channel world or a TCP socket mesh — so
 //! `send`/`recv` pairs between a fixed (source, destination) pair match in
 //! program order exactly as MPI point-to-point messages on a single tag do.
-//! Sends never block (buffered channels), which mirrors eager-protocol MPI for
-//! the message sizes the Tucker kernels exchange and keeps the simulated
-//! schedule deadlock-free as long as every posted receive has a matching send.
+//! Sends are eager (the transport buffers), which mirrors eager-protocol MPI
+//! for the message sizes the Tucker kernels exchange and keeps the schedule
+//! deadlock-free as long as every posted receive has a matching send.
 //!
 //! All payloads are `Vec<f64>` — every message in the Tucker algorithms is a
 //! block of tensor or matrix data — and every transfer is recorded in the
-//! rank's [`CommStats`].
+//! rank's [`CommStats`]. Algorithms written against this type are transport
+//! agnostic: the bits they produce do not depend on what carried the
+//! messages (see [`crate::transport`] for the argument).
 
 use crate::grid::ProcGrid;
 use crate::stats::CommStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use crate::transport::{InProcTransport, Transport};
+use std::sync::Arc;
 
 /// Per-rank handle for point-to-point communication and synchronization.
 pub struct Communicator {
     rank: usize,
     size: usize,
     grid: ProcGrid,
-    to_peer: Vec<Sender<Vec<f64>>>,
-    from_peer: Vec<Receiver<Vec<f64>>>,
-    barrier: Arc<Barrier>,
+    transport: Box<dyn Transport>,
     stats: Arc<CommStats>,
 }
 
 impl Communicator {
-    /// Creates the full set of communicators for a `grid.size()`-rank world.
+    /// Creates the full set of communicators for a `grid.size()`-rank
+    /// in-process world.
     ///
     /// Returned in rank order. Normally called only by [`crate::runtime::spmd`].
     pub fn create_world(grid: ProcGrid) -> Vec<Communicator> {
-        let p = grid.size();
-        // channels[src][dst]
-        let mut senders: Vec<Vec<Option<Sender<Vec<f64>>>>> =
-            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Vec<f64>>>>> =
-            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        for src in 0..p {
-            for dst in 0..p {
-                let (tx, rx) = unbounded();
-                senders[src][dst] = Some(tx);
-                receivers[dst][src] = Some(rx);
-            }
+        InProcTransport::create_world(grid.size())
+            .into_iter()
+            .enumerate()
+            .map(|(rank, t)| {
+                Communicator::from_transport(
+                    grid.clone(),
+                    rank,
+                    Box::new(t),
+                    CommStats::new_shared(),
+                )
+            })
+            .collect()
+    }
+
+    /// Wraps an arbitrary [`Transport`] endpoint as rank `rank` of a
+    /// `grid.size()`-rank world. This is how `tucker-net` plugs its TCP mesh
+    /// under the unchanged SPMD surface.
+    ///
+    /// # Panics
+    /// Panics if `rank >= grid.size()`.
+    pub fn from_transport(
+        grid: ProcGrid,
+        rank: usize,
+        transport: Box<dyn Transport>,
+        stats: Arc<CommStats>,
+    ) -> Communicator {
+        let size = grid.size();
+        assert!(rank < size, "from_transport: rank {rank} out of range");
+        Communicator {
+            rank,
+            size,
+            grid,
+            transport,
+            stats,
         }
-        let barrier = Arc::new(Barrier::new(p));
-        let mut world = Vec::with_capacity(p);
-        for rank in 0..p {
-            let to_peer = senders[rank]
-                .iter_mut()
-                .map(|s| s.take().expect("sender already taken"))
-                .collect();
-            let from_peer = receivers[rank]
-                .iter_mut()
-                .map(|r| r.take().expect("receiver already taken"))
-                .collect();
-            world.push(Communicator {
-                rank,
-                size: p,
-                grid: grid.clone(),
-                to_peer,
-                from_peer,
-                barrier: Arc::clone(&barrier),
-                stats: CommStats::new_shared(),
-            });
-        }
-        world
     }
 
     /// This rank's id in `[0, size)`.
@@ -88,6 +90,12 @@ impl Communicator {
         &self.grid
     }
 
+    /// The transport backend's short name (`"inproc"`, `"tcp"`).
+    #[inline]
+    pub fn transport_kind(&self) -> &'static str {
+        self.transport.kind()
+    }
+
     /// This rank's grid coordinates.
     pub fn coords(&self) -> Vec<usize> {
         self.grid.coords(self.rank)
@@ -98,40 +106,45 @@ impl Communicator {
         Arc::clone(&self.stats)
     }
 
-    /// Sends `data` to rank `dst`. Non-blocking (buffered).
+    /// Sends `data` to rank `dst`. Eager (the transport buffers).
     ///
     /// # Panics
-    /// Panics if `dst` is out of range or the destination has shut down.
+    /// Panics if `dst` is out of range or the transport reports a failure
+    /// (the panic message embeds the typed [`crate::transport::TransportError`],
+    /// and [`crate::runtime::try_spmd_with_grid_handle`] converts it back
+    /// into a returned error).
     pub fn send(&self, dst: usize, data: &[f64]) {
         assert!(dst < self.size, "send: destination {dst} out of range");
         self.stats.record_send(data.len());
-        self.to_peer[dst]
-            .send(data.to_vec())
-            .expect("send: destination rank has terminated");
+        if let Err(e) = self.transport.send(dst, data) {
+            panic!("send to rank {dst} failed: {e}");
+        }
     }
 
     /// Sends an owned buffer to rank `dst` without copying.
     pub fn send_vec(&self, dst: usize, data: Vec<f64>) {
         assert!(dst < self.size, "send_vec: destination {dst} out of range");
         self.stats.record_send(data.len());
-        self.to_peer[dst]
-            .send(data)
-            .expect("send_vec: destination rank has terminated");
+        if let Err(e) = self.transport.send_vec(dst, data) {
+            panic!("send_vec to rank {dst} failed: {e}");
+        }
     }
 
     /// Receives the next message from rank `src` (blocking).
     pub fn recv(&self, src: usize) -> Vec<f64> {
         assert!(src < self.size, "recv: source {src} out of range");
-        let data = self.from_peer[src]
-            .recv()
-            .expect("recv: source rank has terminated");
-        self.stats.record_recv(data.len());
-        data
+        match self.transport.recv(src) {
+            Ok(data) => {
+                self.stats.record_recv(data.len());
+                data
+            }
+            Err(e) => panic!("recv from rank {src} failed: {e}"),
+        }
     }
 
     /// Combined send to `dst` and receive from `src` (the shifted exchange used
     /// by the parallel Gram's ring, Alg. 4 lines 9–10). Because sends are
-    /// buffered this cannot deadlock.
+    /// eager this cannot deadlock.
     pub fn sendrecv(&self, dst: usize, data: &[f64], src: usize) -> Vec<f64> {
         self.send(dst, data);
         self.recv(src)
@@ -139,7 +152,9 @@ impl Communicator {
 
     /// Synchronizes all ranks in the world.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        if let Err(e) = self.transport.barrier() {
+            panic!("barrier failed: {e}");
+        }
     }
 
     /// Records participation in a collective (called by the collective layer).
@@ -231,6 +246,19 @@ mod tests {
         assert_eq!(snaps[0].words_sent, 64);
         assert_eq!(snaps[1].messages_received, 1);
         assert_eq!(snaps[1].words_received, 64);
+    }
+
+    #[test]
+    fn inproc_world_reports_no_wire_bytes() {
+        let snaps = run_world(&[2], |comm| {
+            assert_eq!(comm.transport_kind(), "inproc");
+            comm.sendrecv((comm.rank() + 1) % 2, &[1.0; 8], (comm.rank() + 1) % 2);
+            comm.stats().snapshot()
+        });
+        for s in snaps {
+            assert_eq!(s.wire_bytes_sent, 0);
+            assert_eq!(s.wire_bytes_received, 0);
+        }
     }
 
     #[test]

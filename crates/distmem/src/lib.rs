@@ -12,6 +12,9 @@
 //!
 //! Module map:
 //! * [`grid`]        — the logical N-way processor grid of Sec. IV.
+//! * [`transport`]   — the [`transport::Transport`] trait under the communicator
+//!                     (in-process channels here; TCP mesh in `tucker-net`) and
+//!                     the exact [`transport::Wire`] encoding for cross-process values.
 //! * [`comm`]        — point-to-point communicator between ranks.
 //! * [`collectives`] — broadcast, reduce, all-reduce, all-gather, reduce-scatter.
 //! * [`subcomm`]     — communicators over processor-grid slices (mode columns/rows).
@@ -26,10 +29,14 @@ pub mod grid;
 pub mod runtime;
 pub mod stats;
 pub mod subcomm;
+pub mod transport;
 
 pub use comm::Communicator;
 pub use costmodel::{CostModel, KernelCost, MachineParams};
 pub use grid::ProcGrid;
-pub use runtime::{spmd, spmd_with_grid, SpmdHandle};
+pub use runtime::{
+    spmd, spmd_with_grid, spmd_with_grid_handle, try_spmd_with_grid_handle, SpmdError, SpmdHandle,
+};
 pub use stats::{CommStats, StatsSnapshot};
 pub use subcomm::SubCommunicator;
+pub use transport::{InProcTransport, Transport, TransportError, Wire, WireError, WireReader};

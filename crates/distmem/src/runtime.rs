@@ -5,6 +5,15 @@
 //! values in rank order. This is the moral equivalent of `mpiexec -n P` for the
 //! in-process runtime, and is how every distributed algorithm in `tucker-core`
 //! and every scaling experiment in `tucker-bench` is driven.
+//! (`tucker-net` layers the multi-process equivalent on top: same closure,
+//! same [`SpmdHandle`], ranks as spawned processes on a TCP mesh.)
+//!
+//! Worker panics are propagated as a typed [`SpmdError`] by
+//! [`try_spmd_with_grid_handle`]: every rank thread is joined, the panic
+//! payloads are collected, and the *originating* failure is singled out from
+//! the cascade it causes (a rank dying makes its peers' `send`/`recv` panic
+//! with "has terminated" / "aborted by rank" transport errors — those are
+//! symptoms, not causes).
 
 use crate::comm::Communicator;
 use crate::grid::ProcGrid;
@@ -33,9 +42,58 @@ impl<R> SpmdHandle<R> {
     }
 }
 
-/// Runs `f` on every rank of an N-way grid and returns per-rank results in rank
-/// order, along with communication statistics and elapsed wall-clock time.
-pub fn spmd_with_grid_handle<R, F>(grid: ProcGrid, f: F) -> SpmdHandle<R>
+/// One or more ranks of an SPMD region panicked.
+///
+/// `rank`/`message` identify the most likely *originating* failure; `panics`
+/// lists every rank that died (cascades included) in rank order.
+#[derive(Debug, Clone)]
+pub struct SpmdError {
+    /// The rank whose panic looks like the root cause.
+    pub rank: usize,
+    /// That rank's panic message.
+    pub message: String,
+    /// All `(rank, message)` panics observed, in rank order.
+    pub panics: Vec<(usize, String)>,
+}
+
+impl std::fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SPMD rank {} panicked: {} ({} rank(s) failed in total)",
+            self.rank,
+            self.message,
+            self.panics.len()
+        )
+    }
+}
+
+impl std::error::Error for SpmdError {}
+
+/// True when a panic message looks like a *consequence* of another rank dying
+/// (its endpoints vanish, so peers fail with transport errors) rather than an
+/// original failure.
+fn is_cascade_message(msg: &str) -> bool {
+    msg.contains("has terminated") || msg.contains("aborted by rank")
+}
+
+fn panic_payload_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `f` on every rank of an N-way grid; worker panics become a typed
+/// [`SpmdError`] instead of unwinding through the join.
+///
+/// All rank threads are joined either way — a panicking rank never leaves
+/// stragglers behind (its peers cascade-fail on their dead channels and are
+/// joined too), so the process is in a clean state after an `Err`.
+pub fn try_spmd_with_grid_handle<R, F>(grid: ProcGrid, f: F) -> Result<SpmdHandle<R>, SpmdError>
 where
     R: Send,
     F: Fn(Communicator) -> R + Send + Sync,
@@ -45,6 +103,7 @@ where
     let stats_handles: Vec<_> = world.iter().map(|c| c.stats()).collect();
     let start = std::time::Instant::now();
     let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    let mut panics: Vec<(usize, String)> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for comm in world {
@@ -55,18 +114,50 @@ where
         for (rank, h) in handles {
             match h.join() {
                 Ok(r) => results[rank] = Some(r),
-                Err(e) => std::panic::resume_unwind(e),
+                Err(e) => panics.push((rank, panic_payload_message(e))),
             }
         }
     });
+    if !panics.is_empty() {
+        // Prefer the first panic that does not look like a cascade from a
+        // peer's death; if every message is a cascade (or none are
+        // classifiable), fall back to the lowest-rank panic.
+        let (rank, message) = panics
+            .iter()
+            .find(|(_, m)| !is_cascade_message(m))
+            .unwrap_or(&panics[0])
+            .clone();
+        return Err(SpmdError {
+            rank,
+            message,
+            panics,
+        });
+    }
     let elapsed = start.elapsed().as_secs_f64();
-    SpmdHandle {
+    Ok(SpmdHandle {
         results: results
             .into_iter()
             .map(|o| o.expect("missing rank result"))
             .collect(),
         stats: stats_handles.iter().map(|s| s.snapshot()).collect(),
         elapsed,
+    })
+}
+
+/// Runs `f` on every rank of an N-way grid and returns per-rank results in rank
+/// order, along with communication statistics and elapsed wall-clock time.
+///
+/// # Panics
+/// Panics with the [`SpmdError`] display (root-cause rank and message) if any
+/// rank panics. Use [`try_spmd_with_grid_handle`] to get the error as a value.
+pub fn spmd_with_grid_handle<R, F>(grid: ProcGrid, f: F) -> SpmdHandle<R>
+where
+    R: Send,
+    F: Fn(Communicator) -> R + Send + Sync,
+{
+    match try_spmd_with_grid_handle(grid, f) {
+        Ok(h) => h,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -129,6 +220,56 @@ mod tests {
             all_reduce(&g, &[2.0, 3.0])
         });
         assert_eq!(results[0], vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error() {
+        let err = try_spmd_with_grid_handle(ProcGrid::new(&[3]), |comm| {
+            if comm.rank() == 1 {
+                panic!("rank 1 exploded deliberately");
+            }
+            // The other ranks block on the dead rank and cascade-fail.
+            let _ = comm.recv(1);
+        })
+        .unwrap_err();
+        assert_eq!(err.rank, 1, "root cause should be attributed to rank 1");
+        assert!(err.message.contains("exploded deliberately"));
+        // The cascaded ranks are recorded too.
+        assert!(err.panics.len() >= 2, "peers should cascade-fail: {err:?}");
+        assert!(err
+            .panics
+            .iter()
+            .any(|(r, m)| *r != 1 && is_cascade_message(m)));
+    }
+
+    #[test]
+    fn panicking_spmd_still_panics_with_root_cause() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            spmd(2, |comm| {
+                if comm.rank() == 0 {
+                    panic!("original failure");
+                }
+                let _ = comm.recv(0);
+            });
+        }))
+        .unwrap_err();
+        let msg = panic_payload_message(caught);
+        assert!(
+            msg.contains("original failure") && msg.contains("rank 0"),
+            "panic message should carry the root cause: {msg}"
+        );
+    }
+
+    #[test]
+    fn error_on_all_cascades_picks_lowest_rank() {
+        // Both ranks fail with cascade-looking messages; the attribution
+        // falls back to the lowest rank rather than inventing a cause.
+        let err = try_spmd_with_grid_handle(ProcGrid::new(&[2]), |comm| -> Vec<f64> {
+            panic!("peer rank {} has terminated", (comm.rank() + 1) % 2);
+        })
+        .unwrap_err();
+        assert_eq!(err.panics.len(), 2);
+        assert_eq!(err.rank, err.panics[0].0);
     }
 
     #[test]

@@ -5,7 +5,15 @@
 //! (Tab. I) predicts exactly these quantities, so the integration tests compare
 //! the predicted words/messages against these counters, and the scaling
 //! harnesses use them to attribute time between computation and communication.
+//!
+//! Since the TCP backend (PR 10), a rank additionally tracks *wire bytes*:
+//! the real on-the-wire byte count including frame headers, message framing
+//! and barrier/synchronization traffic. For the in-process backend these stay
+//! zero; for the TCP backend they are exact (every frame byte is counted at
+//! the framing layer), so volume assertions like
+//! `wire_bytes == frames·overhead + words·8` hold with equality.
 
+use crate::transport::{Wire, WireError, WireReader};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,6 +37,8 @@ pub struct CommStats {
     messages_received: AtomicU64,
     words_received: AtomicU64,
     collective_calls: AtomicU64,
+    wire_bytes_sent: AtomicU64,
+    wire_bytes_received: AtomicU64,
 }
 
 /// An immutable snapshot of a rank's counters.
@@ -44,6 +54,11 @@ pub struct StatsSnapshot {
     pub words_received: u64,
     /// Number of collective operations this rank participated in.
     pub collective_calls: u64,
+    /// Real on-wire bytes sent, including framing/header/barrier overhead.
+    /// Zero on the in-process backend (no wire).
+    pub wire_bytes_sent: u64,
+    /// Real on-wire bytes received, including framing/header/barrier overhead.
+    pub wire_bytes_received: u64,
 }
 
 impl CommStats {
@@ -75,6 +90,17 @@ impl CommStats {
         COLLECTIVE_CALLS.inc();
     }
 
+    /// Records `bytes` pushed onto the wire (frame headers included).
+    /// Called by wire transports only — the in-process backend never does.
+    pub fn record_wire_sent(&self, bytes: u64) {
+        self.wire_bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` read off the wire (frame headers included).
+    pub fn record_wire_recv(&self, bytes: u64) {
+        self.wire_bytes_received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.messages_sent.store(0, Ordering::Relaxed);
@@ -82,6 +108,8 @@ impl CommStats {
         self.messages_received.store(0, Ordering::Relaxed);
         self.words_received.store(0, Ordering::Relaxed);
         self.collective_calls.store(0, Ordering::Relaxed);
+        self.wire_bytes_sent.store(0, Ordering::Relaxed);
+        self.wire_bytes_received.store(0, Ordering::Relaxed);
     }
 
     /// Takes an immutable snapshot of the counters.
@@ -92,6 +120,8 @@ impl CommStats {
             messages_received: self.messages_received.load(Ordering::Relaxed),
             words_received: self.words_received.load(Ordering::Relaxed),
             collective_calls: self.collective_calls.load(Ordering::Relaxed),
+            wire_bytes_sent: self.wire_bytes_sent.load(Ordering::Relaxed),
+            wire_bytes_received: self.wire_bytes_received.load(Ordering::Relaxed),
         }
     }
 }
@@ -106,6 +136,8 @@ impl StatsSnapshot {
             acc.messages_received += s.messages_received;
             acc.words_received += s.words_received;
             acc.collective_calls += s.collective_calls;
+            acc.wire_bytes_sent += s.wire_bytes_sent;
+            acc.wire_bytes_received += s.wire_bytes_received;
         }
         acc
     }
@@ -119,8 +151,34 @@ impl StatsSnapshot {
             acc.messages_received = acc.messages_received.max(s.messages_received);
             acc.words_received = acc.words_received.max(s.words_received);
             acc.collective_calls = acc.collective_calls.max(s.collective_calls);
+            acc.wire_bytes_sent = acc.wire_bytes_sent.max(s.wire_bytes_sent);
+            acc.wire_bytes_received = acc.wire_bytes_received.max(s.wire_bytes_received);
         }
         acc
+    }
+}
+
+impl Wire for StatsSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.messages_sent.encode(out);
+        self.words_sent.encode(out);
+        self.messages_received.encode(out);
+        self.words_received.encode(out);
+        self.collective_calls.encode(out);
+        self.wire_bytes_sent.encode(out);
+        self.wire_bytes_received.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(StatsSnapshot {
+            messages_sent: r.u64()?,
+            words_sent: r.u64()?,
+            messages_received: r.u64()?,
+            words_received: r.u64()?,
+            collective_calls: r.u64()?,
+            wire_bytes_sent: r.u64()?,
+            wire_bytes_received: r.u64()?,
+        })
     }
 }
 
@@ -141,6 +199,19 @@ mod tests {
         assert_eq!(snap.messages_received, 1);
         assert_eq!(snap.words_received, 100);
         assert_eq!(snap.collective_calls, 1);
+        assert_eq!(snap.wire_bytes_sent, 0);
+    }
+
+    #[test]
+    fn wire_bytes_are_separate_from_words() {
+        let s = CommStats::default();
+        s.record_send(10);
+        s.record_wire_sent(10 * 8 + 21);
+        s.record_wire_recv(13);
+        let snap = s.snapshot();
+        assert_eq!(snap.words_sent, 10);
+        assert_eq!(snap.wire_bytes_sent, 101);
+        assert_eq!(snap.wire_bytes_received, 13);
     }
 
     #[test]
@@ -148,6 +219,7 @@ mod tests {
         let s = CommStats::default();
         s.record_send(10);
         s.record_recv(10);
+        s.record_wire_sent(99);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
@@ -161,6 +233,8 @@ mod tests {
                 messages_received: 2,
                 words_received: 20,
                 collective_calls: 1,
+                wire_bytes_sent: 100,
+                wire_bytes_received: 7,
             },
             StatsSnapshot {
                 messages_sent: 3,
@@ -168,17 +242,38 @@ mod tests {
                 messages_received: 1,
                 words_received: 50,
                 collective_calls: 2,
+                wire_bytes_sent: 40,
+                wire_bytes_received: 70,
             },
         ];
         let total = StatsSnapshot::total(&snaps);
         assert_eq!(total.messages_sent, 4);
         assert_eq!(total.words_sent, 15);
         assert_eq!(total.words_received, 70);
+        assert_eq!(total.wire_bytes_sent, 140);
+        assert_eq!(total.wire_bytes_received, 77);
         let max = StatsSnapshot::max(&snaps);
         assert_eq!(max.messages_sent, 3);
         assert_eq!(max.words_sent, 10);
         assert_eq!(max.words_received, 50);
         assert_eq!(max.collective_calls, 2);
+        assert_eq!(max.wire_bytes_sent, 100);
+        assert_eq!(max.wire_bytes_received, 70);
+    }
+
+    #[test]
+    fn snapshot_wire_round_trip() {
+        let snap = StatsSnapshot {
+            messages_sent: 1,
+            words_sent: 2,
+            messages_received: 3,
+            words_received: 4,
+            collective_calls: 5,
+            wire_bytes_sent: 6,
+            wire_bytes_received: 7,
+        };
+        let back = StatsSnapshot::from_wire_bytes(&snap.to_wire_bytes()).unwrap();
+        assert_eq!(snap, back);
     }
 
     #[test]

@@ -57,8 +57,8 @@ fn main() -> ExitCode {
         Some("stats") => with_client(&args[1..], 0, |client, _| {
             let s = client.stats().map_err(err)?;
             println!(
-                "served={} busy_rejections={} protocol_errors={} in_flight={}",
-                s.served, s.busy_rejections, s.protocol_errors, s.in_flight
+                "served={} busy_rejections={} shed_sessions={} protocol_errors={} in_flight={}",
+                s.served, s.busy_rejections, s.shed_sessions, s.protocol_errors, s.in_flight
             );
             for a in &s.artifacts {
                 println!(

@@ -17,6 +17,9 @@ pub static REQUESTS: Counter = Counter::new("serve.requests");
 /// Requests rejected at the admission cap (mirror of
 /// `ServeStats::busy_rejections`).
 pub static BUSY_REJECTIONS: Counter = Counter::new("serve.busy_rejections");
+/// Connections refused at the session cap by the accept thread, before any
+/// session thread existed (mirror of `ServeStats::shed_sessions`).
+pub static SHED_SESSIONS: Counter = Counter::new("serve.shed_sessions");
 /// Malformed frames answered with a protocol error (mirror of
 /// `ServeStats::protocol_errors`).
 pub static PROTO_ERRORS: Counter = Counter::new("serve.proto_errors");

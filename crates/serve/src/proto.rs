@@ -193,6 +193,9 @@ pub struct ServeStats {
     pub served: u64,
     /// Requests rejected at the admission cap.
     pub busy_rejections: u64,
+    /// Connections refused at the session cap — answered `Busy` by the
+    /// accept thread and closed before any session thread was spawned.
+    pub shed_sessions: u64,
     /// Malformed request frames answered with a protocol error.
     pub protocol_errors: u64,
     /// Requests currently admitted (queued or executing).
@@ -525,6 +528,7 @@ impl Response {
                 e.u8(RESP_STATS);
                 e.u64(s.served);
                 e.u64(s.busy_rejections);
+                e.u64(s.shed_sessions);
                 e.u64(s.protocol_errors);
                 e.u64(s.in_flight);
                 e.u32(s.artifacts.len() as u32);
@@ -615,6 +619,7 @@ impl Response {
             RESP_STATS => {
                 let served = d.u64()?;
                 let busy_rejections = d.u64()?;
+                let shed_sessions = d.u64()?;
                 let protocol_errors = d.u64()?;
                 let in_flight = d.u64()?;
                 let n = d.u32()? as usize;
@@ -633,6 +638,7 @@ impl Response {
                 Response::Stats(ServeStats {
                     served,
                     busy_rejections,
+                    shed_sessions,
                     protocol_errors,
                     in_flight,
                     artifacts,
@@ -750,6 +756,7 @@ mod tests {
         round_trip_response(Response::Stats(ServeStats {
             served: 10,
             busy_rejections: 2,
+            shed_sessions: 4,
             protocol_errors: 1,
             in_flight: 3,
             artifacts: vec![ArtifactStats {

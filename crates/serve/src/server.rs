@@ -15,6 +15,11 @@
 //!                           tucker-exec pool)
 //! ```
 //!
+//! * **Session cap** — the accept thread itself counts live session
+//!   threads; past [`ServeConfig::max_sessions`] it answers a typed `Busy`
+//!   on the fresh socket and closes it *without spawning a thread*, so a
+//!   connection flood is bounded at one write per reject
+//!   (`ServeStats::shed_sessions` counts them).
 //! * **Admission / backpressure** — one atomic in-flight counter, bumped
 //!   *before* a job is queued and released by the worker after the reply is
 //!   sent. At the cap ([`ServeConfig::queue_depth`]) the session answers a
@@ -87,6 +92,12 @@ pub struct ServeConfig {
     pub cache_chunks: usize,
     /// Lock stripes of the shared cache.
     pub cache_stripes: usize,
+    /// Session-thread cap: maximum live connections (0 = unlimited). A
+    /// connection over the cap is answered with a typed `Busy` *by the
+    /// accept thread itself*, before any session thread is spawned — a
+    /// connection flood costs the daemon one write per reject, not one
+    /// thread per socket.
+    pub max_sessions: usize,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +108,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(30),
             cache_chunks: 64,
             cache_stripes: 8,
+            max_sessions: 256,
         }
     }
 }
@@ -123,8 +135,10 @@ struct Shared {
     in_flight: AtomicUsize,
     queue_depth: usize,
     deadline: Duration,
+    max_sessions: usize,
     served: AtomicU64,
     busy: AtomicU64,
+    shed: AtomicU64,
     proto_errors: AtomicU64,
     jobs: Mutex<Option<mpsc::Sender<Job>>>,
     sessions: Mutex<Vec<JoinHandle<()>>>,
@@ -234,8 +248,10 @@ pub fn serve(
         in_flight: AtomicUsize::new(0),
         queue_depth: config.queue_depth.max(1),
         deadline: config.deadline,
+        max_sessions: config.max_sessions,
         served: AtomicU64::new(0),
         busy: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
         proto_errors: AtomicU64::new(0),
         jobs: Mutex::new(Some(job_tx)),
         sessions: Mutex::new(Vec::new()),
@@ -265,6 +281,7 @@ fn stats_snapshot(shared: &Shared) -> ServeStats {
     ServeStats {
         served: shared.served.load(Ordering::Relaxed),
         busy_rejections: shared.busy.load(Ordering::Relaxed),
+        shed_sessions: shared.shed.load(Ordering::Relaxed),
         protocol_errors: shared.proto_errors.load(Ordering::Relaxed),
         in_flight: shared.in_flight.load(Ordering::Relaxed) as u64,
         artifacts: shared
@@ -284,11 +301,36 @@ fn stats_snapshot(shared: &Shared) -> ServeStats {
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                // Session cap: decide *before* spawning, so a connection
+                // flood costs one synchronous write per reject rather than
+                // one thread per socket. Finished handles are pruned first —
+                // the cap counts live sessions, not historical ones.
+                let live = {
+                    let mut sessions = shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
+                    sessions.retain(|h| !h.is_finished());
+                    sessions.len()
+                };
+                if shared.max_sessions > 0 && live >= shared.max_sessions {
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    metrics::SHED_SESSIONS.inc();
+                    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                    let _ = write_response(
+                        &mut stream,
+                        &Response::Err {
+                            code: ERR_BUSY,
+                            in_flight: live as u64,
+                            message: format!(
+                                "session cap {} reached; retry later",
+                                shared.max_sessions
+                            ),
+                        },
+                    );
+                    continue; // the socket closes here, unserved
+                }
                 let shared_session = Arc::clone(shared);
                 let handle = std::thread::spawn(move || session_loop(stream, &shared_session));
                 let mut sessions = shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
-                sessions.retain(|h| !h.is_finished());
                 sessions.push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(IDLE_POLL),

@@ -23,6 +23,11 @@
 //!   registered artifacts to concurrent clients over a length-prefixed
 //!   binary protocol, with a shared decoded-chunk cache, bounded worker
 //!   pool, and graceful drain.
+//! * [`net`]     — the *real* multi-process distributed backend: a TCP mesh
+//!   transport behind `distmem`'s `Transport` trait, a launcher that
+//!   re-execs the current binary as worker ranks, and exact on-wire byte
+//!   accounting. `TUCKER_TRANSPORT=tcp` switches the SPMD entry points in
+//!   `tucker-net` from threads to spawned processes, bit-identically.
 //! * [`obs`]     — workspace-wide observability: the process-global metrics
 //!   registry (counters, gauges, latency histograms; `TUCKER_METRICS=0`
 //!   turns every instrument into a no-op) and structured span tracing
@@ -37,6 +42,7 @@ pub use tucker_core as core;
 pub use tucker_distmem as distmem;
 pub use tucker_exec as exec;
 pub use tucker_linalg as linalg;
+pub use tucker_net as net;
 pub use tucker_obs as obs;
 pub use tucker_scidata as scidata;
 pub use tucker_serve as serve;
@@ -63,6 +69,10 @@ pub mod prelude {
     };
     pub use tucker_exec::{ExecContext, Workspace};
     pub use tucker_linalg::Matrix;
+    pub use tucker_net::{
+        env_ranks, spmd_transport, test_exec_args, transport_from_env, try_spmd_transport,
+        TransportKind,
+    };
     pub use tucker_scidata::{DatasetPreset, NoisyLowRank, SpectralDecay};
     pub use tucker_serve::{serve, ServeClient, ServeConfig, ServerHandle};
     pub use tucker_store::{

@@ -145,3 +145,83 @@ fn large_kernels_are_bit_identical_across_thread_counts() {
         assert_eq!(rec.as_slice(), rec_t.as_slice());
     }
 }
+
+/// The same determinism contract across *transport backends* (ISSUE 10):
+/// under the env-selected backend (`TUCKER_TRANSPORT`, `TUCKER_RANKS` — the
+/// knobs CI's TCP re-runs of this suite turn), two distributed ST-HOSVD
+/// runs of the same program must be bit-identical on every rank, whether
+/// the ranks are threads or spawned processes.
+#[test]
+fn env_transport_repeated_dist_runs_are_bit_identical() {
+    use tucker_core::dist::{dist_st_hosvd, DistTensor};
+    use tucker_distmem::{Communicator, ProcGrid};
+    use tucker_net::{env_ranks, spmd_transport, test_exec_args, transport_from_env, SpmdHandle};
+
+    let kind = transport_from_env();
+    let p = env_ranks();
+    let grid = match p {
+        1 => vec![1usize, 1, 1],
+        2 => vec![2, 1, 1],
+        4 => vec![2, 2, 1],
+        8 => vec![2, 2, 2],
+        other => vec![other, 1, 1],
+    };
+    let x = DenseTensor::from_fn(&[12, 10, 8], |idx| {
+        let mut v = 1.0;
+        for (k, &i) in idx.iter().enumerate() {
+            v += ((k + 1) as f64 * 0.17 * i as f64).sin();
+        }
+        v
+    });
+    let opts = SthosvdOptions::with_ranks(vec![4, 3, 3]);
+    let exec = test_exec_args("env_transport_repeated_dist_runs_are_bit_identical");
+    let run = |name: &'static str| -> SpmdHandle<Vec<f64>> {
+        let x = x.clone();
+        let opts = opts.clone();
+        spmd_transport(
+            kind,
+            name,
+            ProcGrid::new(&grid),
+            &exec,
+            move |comm: Communicator| {
+                let dx = DistTensor::from_global(&comm, &x);
+                let r = dist_st_hosvd(&comm, &dx, &opts);
+                match r.tucker.gather_to_root(&comm) {
+                    Some(t) => {
+                        let mut out: Vec<f64> = t.core.as_slice().to_vec();
+                        for f in &t.factors {
+                            out.extend_from_slice(f.as_slice());
+                        }
+                        out
+                    }
+                    None => vec![],
+                }
+            },
+        )
+    };
+    let first = run("det_env_first");
+    let second = run("det_env_second");
+    assert!(
+        !first.results[0].is_empty(),
+        "rank 0 must gather the decomposition"
+    );
+    if matches!(kind, tucker_net::TransportKind::Tcp) && p > 1 {
+        let wire: u64 = first.stats.iter().map(|s| s.wire_bytes_sent).sum();
+        assert!(wire > 0, "a tcp run must move real bytes on the wire");
+    }
+    for r in 0..grid.iter().product::<usize>() {
+        assert_eq!(
+            first.results[r].len(),
+            second.results[r].len(),
+            "rank {r}: result shapes diverge between repeated runs"
+        );
+        for (i, (a, b)) in first.results[r].iter().zip(&second.results[r]).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "rank {r}, word {i}: repeated {} runs diverge: {a:e} vs {b:e}",
+                kind.label()
+            );
+        }
+    }
+}

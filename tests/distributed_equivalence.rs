@@ -219,3 +219,56 @@ fn single_rank_distributed_run_is_exactly_sequential() {
     let diff = normalized_rms_error(&seq.tucker.core, &gathered.as_ref().unwrap().core);
     assert!(diff < 1e-13);
 }
+
+/// The env-selected transport (`TUCKER_TRANSPORT` / `TUCKER_RANKS` — the
+/// knobs CI's TCP re-runs of this suite turn) must preserve the
+/// sequential-equivalence contract for the iterative HOOI too: real spawned
+/// processes have to land on the same fit as the in-process reference.
+#[test]
+fn env_transport_distributed_hooi_matches_sequential() {
+    use tucker_net::{
+        env_ranks, spmd_transport, test_exec_args, transport_from_env, TransportKind,
+    };
+
+    let kind = transport_from_env();
+    let p = env_ranks();
+    let grid = match p {
+        1 => vec![1usize, 1, 1],
+        2 => vec![2, 1, 1],
+        4 => vec![2, 2, 1],
+        8 => vec![2, 2, 2],
+        other => vec![other, 1, 1],
+    };
+    let dims = [10usize, 9, 8];
+    let x = structured_tensor(&dims);
+    let opts = HooiOptions::with_ranks(vec![3, 3, 2], 2);
+    let seq_err = normalized_rms_error(&x, &hooi(&x, &opts).tucker.reconstruct());
+
+    let x2 = x.clone();
+    let exec = test_exec_args("env_transport_distributed_hooi_matches_sequential");
+    let handle = spmd_transport(
+        kind,
+        "hooi_env",
+        ProcGrid::new(&grid),
+        &exec,
+        move |comm: Communicator| -> Vec<f64> {
+            let dx = DistTensor::from_global(&comm, &x2);
+            let r = dist_hooi(&comm, &dx, &opts);
+            match r.tucker.gather_to_root(&comm) {
+                Some(t) => t.reconstruct().as_slice().to_vec(),
+                None => vec![],
+            }
+        },
+    );
+    let rec = DenseTensor::from_vec(&dims, handle.results[0].clone());
+    let dist_err = normalized_rms_error(&x, &rec);
+    assert!(
+        (seq_err - dist_err).abs() < 1e-8 * (1.0 + seq_err),
+        "{} backend: sequential fit {seq_err} vs distributed {dist_err}",
+        kind.label()
+    );
+    if matches!(kind, TransportKind::Tcp) && p > 1 {
+        let wire: u64 = handle.stats.iter().map(|s| s.wire_bytes_sent).sum();
+        assert!(wire > 0, "a tcp run must move real bytes on the wire");
+    }
+}

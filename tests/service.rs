@@ -348,6 +348,89 @@ fn overload_sheds_as_typed_busy_and_service_recovers() {
 }
 
 // ---------------------------------------------------------------------------
+// 3b. Session cap: a connection flood is shed by the accept thread with a
+//     typed Busy, before any session thread is spawned.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_cap_sheds_before_spawn() {
+    let dims = [10usize, 8, 6];
+    let path = chunked_artifact("cap", &dims, Codec::F64, 0.9);
+    let registry = vec![("field".to_string(), path.clone())];
+    let handle = serve(
+        "127.0.0.1:0",
+        &registry,
+        ServeConfig {
+            max_sessions: 2,
+            cache_chunks: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("daemon binds");
+    let addr = handle.addr();
+    let direct = Open::eager().open(&path).expect("direct reader");
+    let want = direct.element(&[1, 2, 3]).expect("direct element");
+
+    // Fill the cap with two live sessions. A served round trip on each
+    // proves its session thread exists before the third connection arrives
+    // (plain connect() only proves the kernel accepted the socket).
+    let mut a = ServeClient::connect(addr).expect("client a connects");
+    let mut b = ServeClient::connect(addr).expect("client b connects");
+    assert_eq!(
+        a.element("field", &[1, 2, 3]).unwrap().to_bits(),
+        want.to_bits()
+    );
+    assert_eq!(
+        b.element("field", &[1, 2, 3]).unwrap().to_bits(),
+        want.to_bits()
+    );
+
+    // The third connection is over the cap: the accept thread answers a
+    // typed Busy and closes, so the first read on this socket sees it.
+    let mut c = ServeClient::connect(addr).expect("client c connects at TCP level");
+    match c.element("field", &[1, 2, 3]) {
+        Err(TuckerError::Busy { .. }) => {}
+        other => panic!("over-cap connection must get a typed Busy, got: {other:?}"),
+    }
+    drop(c);
+
+    // The live sessions are untouched, and the shed was counted.
+    assert_eq!(
+        a.element("field", &[1, 2, 3]).unwrap().to_bits(),
+        want.to_bits()
+    );
+    let stats = b.stats().expect("stats from a live session");
+    assert!(
+        stats.shed_sessions >= 1,
+        "shed_sessions must count the refused connection, got {}",
+        stats.shed_sessions
+    );
+    assert_eq!(stats.busy_rejections, 0, "no request ever hit admission");
+
+    // Freeing a slot re-opens the door: after client a hangs up, a new
+    // connection is accepted once the accept thread prunes the dead session.
+    drop(a);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut d = ServeClient::connect(addr).expect("replacement client connects");
+        match d.element("field", &[1, 2, 3]) {
+            Ok(v) => {
+                assert_eq!(v.to_bits(), want.to_bits());
+                break;
+            }
+            Err(TuckerError::Busy { .. }) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("replacement client must eventually be admitted: {e}"),
+        }
+    }
+
+    drop(b);
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------------
 // 4. Server-side fault injection: protocol violence never panics the daemon,
 //    wedges it, or corrupts another session.
 // ---------------------------------------------------------------------------
